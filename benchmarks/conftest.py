@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the experiment benchmarks (E1–E10).
+
+Every experiment module measures wall-clock with pytest-benchmark *and*
+asserts the qualitative shape the paper claims (who wins, roughly by how
+much, where the crossover lies).  Data sizes are chosen so the full suite
+runs in a couple of minutes on a laptop while still being large enough for
+the NumPy kernels to dominate Python overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    generate_orders_workload,
+    mixed_magnitude_residuals,
+    monotone_identifiers,
+    runs_column,
+    shipping_dates,
+    smooth_measure,
+    step_with_outliers,
+    trending_sensor,
+    uniform_random,
+)
+
+#: Number of rows used by most experiments.
+N_ROWS = 500_000
+
+
+@pytest.fixture(scope="session")
+def dates_column():
+    """The paper's §I shipping-dates column (monotone, long runs)."""
+    return shipping_dates(N_ROWS, orders_per_day_mean=1500.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def runs_medium():
+    """Run-structured data with moderate run lengths."""
+    return runs_column(N_ROWS, average_run_length=40.0, num_distinct_values=2000, seed=43)
+
+
+@pytest.fixture(scope="session")
+def smooth_column():
+    """Locally-smooth measure data (FOR territory)."""
+    return smooth_measure(N_ROWS, base=5_000_000, amplitude=50_000, noise=64, seed=44)
+
+
+@pytest.fixture(scope="session")
+def monotone_column():
+    return monotone_identifiers(N_ROWS, seed=45)
+
+
+@pytest.fixture(scope="session")
+def trending_column():
+    return trending_sensor(N_ROWS, slope_per_segment=5.0, segment_length=128, seed=46)
+
+
+@pytest.fixture(scope="session")
+def residuals_column():
+    return mixed_magnitude_residuals(N_ROWS, small_bits=5, large_bits=24,
+                                     large_fraction=0.03, seed=47)
+
+
+@pytest.fixture(scope="session")
+def random_column():
+    return uniform_random(N_ROWS, seed=48)
+
+
+@pytest.fixture(scope="session")
+def orders_workload():
+    return generate_orders_workload(num_orders=60_000, num_days=1500, seed=49)
+
+
+def print_report(report) -> None:
+    """Print an ExperimentReport (visible with ``pytest -s``)."""
+    print()
+    print(report.render())

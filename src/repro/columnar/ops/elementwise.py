@@ -1,0 +1,168 @@
+"""Element-wise operators (the paper's ``Elementwise(op, a, b)``).
+
+Algorithm 2 of the paper uses two of these: an integer division to map
+positions to segment indices, and an addition to re-apply offsets to the
+replicated references.  The general :func:`elementwise` entry point accepts
+an operation name so plans can store the operation as data; the named
+convenience wrappers (:func:`add`, :func:`subtract`, ...) are registered as
+operators in their own right as well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ...errors import OperatorError
+from ..column import Column
+from .registry import register_operator
+
+Operand = Union[Column, int, float]
+
+#: Binary operations available to ``Elementwise``.  Values are functions of
+#: two NumPy arrays (or array and scalar).
+BINARY_OPERATIONS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "//": np.floor_divide,
+    "div": np.floor_divide,
+    "%": np.mod,
+    "min": np.minimum,
+    "max": np.maximum,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+    "<<": np.left_shift,
+    ">>": np.right_shift,
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+#: Unary operations available to ``ElementwiseUnary``.
+UNARY_OPERATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "neg": np.negative,
+    "abs": np.abs,
+    "not": np.logical_not,
+    "sign": np.sign,
+    # Round to the nearest integer and cast; used when re-applying integer
+    # residuals to a real-valued model prediction (piecewise-linear /
+    # polynomial decompression plans).
+    "round": lambda a: np.rint(a).astype(np.int64),
+}
+
+
+def _operand_values(operand: Operand) -> Union[np.ndarray, int, float]:
+    return operand.values if isinstance(operand, Column) else operand
+
+
+def _check_lengths(left: Operand, right: Operand, op: str) -> None:
+    if isinstance(left, Column) and isinstance(right, Column) and len(left) != len(right):
+        raise OperatorError(
+            f"Elementwise({op!r}) operands must have equal length, "
+            f"got {len(left)} and {len(right)}"
+        )
+
+
+@register_operator("Elementwise", None, "apply a named binary operation element-wise",
+                   category="elementwise")
+def elementwise(op: str, left: Operand, right: Operand,
+                name: Optional[str] = None) -> Column:
+    """Apply binary operation *op* element-wise to *left* and *right*.
+
+    Either operand may be a scalar, which broadcasts — the paper's plans use
+    constant columns instead, and both spellings are equivalent (and tested
+    to be).
+
+    >>> from repro.columnar.ops.generate import sequence
+    >>> elementwise("+", sequence([1, 2, 3]), sequence([10, 10, 10])).to_pylist()
+    [11, 12, 13]
+    """
+    if op not in BINARY_OPERATIONS:
+        raise OperatorError(
+            f"unknown elementwise operation {op!r}; "
+            f"known operations: {sorted(BINARY_OPERATIONS)}"
+        )
+    _check_lengths(left, right, op)
+    result = BINARY_OPERATIONS[op](_operand_values(left), _operand_values(right))
+    if name is None and isinstance(left, Column):
+        name = left.name
+    return Column(result, name=name)
+
+
+@register_operator("ElementwiseUnary", 1, "apply a named unary operation element-wise",
+                   category="elementwise")
+def elementwise_unary(op: str, operand: Column, name: Optional[str] = None) -> Column:
+    """Apply unary operation *op* element-wise."""
+    if op not in UNARY_OPERATIONS:
+        raise OperatorError(
+            f"unknown unary operation {op!r}; known operations: {sorted(UNARY_OPERATIONS)}"
+        )
+    return Column(UNARY_OPERATIONS[op](operand.values), name=name or operand.name)
+
+
+@register_operator("Add", 2, "element-wise addition", category="elementwise")
+def add(left: Operand, right: Operand, name: Optional[str] = None) -> Column:
+    """Element-wise ``left + right``."""
+    return elementwise("+", left, right, name=name)
+
+
+@register_operator("Subtract", 2, "element-wise subtraction", category="elementwise")
+def subtract(left: Operand, right: Operand, name: Optional[str] = None) -> Column:
+    """Element-wise ``left - right``."""
+    return elementwise("-", left, right, name=name)
+
+
+@register_operator("Multiply", 2, "element-wise multiplication", category="elementwise")
+def multiply(left: Operand, right: Operand, name: Optional[str] = None) -> Column:
+    """Element-wise ``left * right``."""
+    return elementwise("*", left, right, name=name)
+
+
+@register_operator("FloorDivide", 2, "element-wise integer division", category="elementwise")
+def floor_divide(left: Operand, right: Operand, name: Optional[str] = None) -> Column:
+    """Element-wise ``left // right`` (Algorithm 2's segment-index computation)."""
+    return elementwise("//", left, right, name=name)
+
+
+@register_operator("Modulo", 2, "element-wise modulo", category="elementwise")
+def modulo(left: Operand, right: Operand, name: Optional[str] = None) -> Column:
+    """Element-wise ``left % right``."""
+    return elementwise("%", left, right, name=name)
+
+
+@register_operator("AdjacentDifference", 1,
+                   "out[0]=col[0]; out[i]=col[i]-col[i-1] (inverse of PrefixSum)",
+                   category="elementwise")
+def adjacent_difference(col: Column, name: Optional[str] = None) -> Column:
+    """The inverse of an inclusive prefix sum.
+
+    This is the *compression-side* operator of DELTA, and the operator that
+    recovers run lengths from run end positions — i.e. the operator whose
+    omission turns RLE into RPE (§II-A of the paper).
+
+    >>> from repro.columnar.ops.generate import sequence
+    >>> adjacent_difference(sequence([3, 4, 6])).to_pylist()
+    [3, 1, 2]
+    """
+    arr = col.values
+    out = np.empty(len(arr), dtype=np.result_type(arr.dtype, np.int64)
+                   if np.issubdtype(arr.dtype, np.integer) else arr.dtype)
+    if len(arr):
+        out[0] = arr[0]
+        np.subtract(arr[1:], arr[:-1], out=out[1:])
+    return Column(out, name=name or col.name)
+
+
+@register_operator("Compare", None, "element-wise comparison producing a boolean mask",
+                   category="elementwise")
+def compare(op: str, left: Operand, right: Operand, name: Optional[str] = None) -> Column:
+    """Element-wise comparison (``==``, ``<``, ``<=`` ...) producing booleans."""
+    if op not in ("==", "!=", "<", "<=", ">", ">="):
+        raise OperatorError(f"Compare() does not support operation {op!r}")
+    return elementwise(op, left, right, name=name)

@@ -1,0 +1,136 @@
+"""Run-structure operators: detecting runs, segment ids, run boundaries.
+
+These operators are the *compression-side* counterparts of the paper's
+Algorithm 1: where decompression expands ``(lengths, values)`` back into a
+flat column, compression must first find where runs begin and how long they
+are.  They are also reused by the query engine to aggregate directly over
+the run domain without decompressing (experiment E10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import OperatorError
+from ..column import Column
+from .registry import register_operator
+
+
+@register_operator("RunStartsMask", 1, "boolean mask marking the first element of each run",
+                   category="runs")
+def run_starts_mask(col: Column, name: Optional[str] = None) -> Column:
+    """Boolean mask which is true exactly at positions where a new run begins.
+
+    >>> from repro.columnar.ops.generate import sequence
+    >>> run_starts_mask(sequence([5, 5, 7, 7, 7, 5])).to_pylist()
+    [True, False, True, False, False, True]
+    """
+    values = col.values
+    if len(values) == 0:
+        return Column(np.empty(0, dtype=bool), name=name)
+    mask = np.empty(len(values), dtype=bool)
+    mask[0] = True
+    np.not_equal(values[1:], values[:-1], out=mask[1:])
+    return Column(mask, name=name)
+
+
+@register_operator("RunStartPositions", 1, "positions at which each run begins",
+                   category="runs")
+def run_start_positions(col: Column, name: Optional[str] = None) -> Column:
+    """Positions of the first element of every run (sorted, starts with 0)."""
+    mask = run_starts_mask(col)
+    return Column(np.flatnonzero(mask.values).astype(np.int64), name=name)
+
+
+@register_operator("RunEndPositions", 1, "exclusive end position of each run", category="runs")
+def run_end_positions(col: Column, name: Optional[str] = None) -> Column:
+    """Exclusive end position of every run; the last element equals ``len(col)``.
+
+    This is exactly the ``run_positions`` column of the paper's RPE scheme
+    (§II-A): the inclusive prefix sum of the run lengths.
+    """
+    values = col.values
+    if len(values) == 0:
+        return Column(np.empty(0, dtype=np.int64), name=name)
+    starts = np.flatnonzero(run_starts_mask(col).values)
+    ends = np.empty(len(starts), dtype=np.int64)
+    ends[:-1] = starts[1:]
+    ends[-1] = len(values)
+    return Column(ends, name=name)
+
+
+@register_operator("RunLengths", 1, "length of each run", category="runs")
+def run_lengths(col: Column, name: Optional[str] = None) -> Column:
+    """Length of every maximal run of equal values.
+
+    >>> from repro.columnar.ops.generate import sequence
+    >>> run_lengths(sequence([5, 5, 7, 7, 7, 5])).to_pylist()
+    [2, 3, 1]
+    """
+    values = col.values
+    if len(values) == 0:
+        return Column(np.empty(0, dtype=np.int64), name=name)
+    starts = np.flatnonzero(run_starts_mask(col).values)
+    lengths = np.empty(len(starts), dtype=np.int64)
+    lengths[:-1] = np.diff(starts)
+    lengths[-1] = len(values) - starts[-1]
+    return Column(lengths, name=name)
+
+
+@register_operator("RunValues", 1, "representative value of each run", category="runs")
+def run_values(col: Column, name: Optional[str] = None) -> Column:
+    """The value of every maximal run (one element per run).
+
+    >>> from repro.columnar.ops.generate import sequence
+    >>> run_values(sequence([5, 5, 7, 7, 7, 5])).to_pylist()
+    [5, 7, 5]
+    """
+    values = col.values
+    if len(values) == 0:
+        return Column(np.empty(0, dtype=col.dtype), name=name)
+    starts = np.flatnonzero(run_starts_mask(col).values)
+    return Column(values[starts], name=name or col.name)
+
+
+@register_operator("RunIds", 1, "per-element index of the run it belongs to", category="runs")
+def run_ids(col: Column, name: Optional[str] = None) -> Column:
+    """For every element, the index of the run containing it (0-based).
+
+    >>> from repro.columnar.ops.generate import sequence
+    >>> run_ids(sequence([5, 5, 7, 7, 7, 5])).to_pylist()
+    [0, 0, 1, 1, 1, 2]
+    """
+    mask = run_starts_mask(col).values
+    if len(mask) == 0:
+        return Column(np.empty(0, dtype=np.int64), name=name)
+    return Column(np.cumsum(mask, dtype=np.int64) - 1, name=name)
+
+
+@register_operator("SegmentIds", 0, "position // segment_length for n positions",
+                   category="runs")
+def segment_ids(length: int, segment_length: int, name: Optional[str] = None) -> Column:
+    """The segment index of every position for fixed-length segments.
+
+    Equivalent to Algorithm 2's ``Elementwise(÷, id, ells)`` but provided as
+    a named operator so plans and the cost model can treat it as a single
+    streaming pass.
+    """
+    if segment_length <= 0:
+        raise OperatorError(f"segment_length must be positive, got {segment_length}")
+    if length < 0:
+        raise OperatorError(f"length must be non-negative, got {length}")
+    return Column(np.arange(length, dtype=np.int64) // segment_length, name=name)
+
+
+def count_runs(col: Column) -> int:
+    """Number of maximal runs in *col* (0 for an empty column)."""
+    if len(col) == 0:
+        return 0
+    return int(run_starts_mask(col).values.sum())
+
+
+def runs_of(col: Column) -> Tuple[Column, Column]:
+    """Convenience: return ``(values, lengths)`` — the RLE constituents of *col*."""
+    return run_values(col), run_lengths(col)

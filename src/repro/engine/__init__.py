@@ -1,0 +1,66 @@
+"""Query-execution substrate: predicates, pushdown, physical operators, queries.
+
+The engine exists to demonstrate — and measure — the paper's "why it
+matters": predicates evaluated on compressed forms (run domain, segment
+bounds, dictionary codes), chunk skipping from statistics, and
+late-materialisation execution where decompression happens only for the rows
+and columns a query actually needs.
+"""
+
+from .predicates import And, Between, Equals, IsIn, Or, Predicate, RangeBounds
+from .pushdown import (
+    PushdownStats,
+    count_in_range_on_runs,
+    range_mask_on_dict,
+    range_mask_on_for,
+    range_mask_on_form,
+    range_mask_on_runs,
+    sum_in_range_on_runs,
+)
+from .approximate import (
+    ApproximateAnswer,
+    approximate_mean,
+    approximate_sum,
+    refine_sum,
+)
+from .operators import (
+    ScanStats,
+    SelectionVector,
+    aggregate,
+    filter_table,
+    group_by_aggregate,
+    hash_join,
+    project,
+)
+from .query import Query, QueryResult, join_tables
+
+__all__ = [
+    "Predicate",
+    "Between",
+    "Equals",
+    "IsIn",
+    "And",
+    "Or",
+    "RangeBounds",
+    "PushdownStats",
+    "range_mask_on_form",
+    "range_mask_on_runs",
+    "range_mask_on_for",
+    "range_mask_on_dict",
+    "count_in_range_on_runs",
+    "sum_in_range_on_runs",
+    "ScanStats",
+    "SelectionVector",
+    "filter_table",
+    "project",
+    "aggregate",
+    "group_by_aggregate",
+    "hash_join",
+    "Query",
+    "QueryResult",
+    "join_tables",
+    "ApproximateAnswer",
+    "approximate_sum",
+    "approximate_mean",
+    "refine_sum",
+]

@@ -1,0 +1,158 @@
+"""Approximate and gradually-refined query answers from coarse models.
+
+Section II-B of the paper notes that the correspondence of a column to a
+simple low-dimensional model can be used "in the context of approximate or
+gradual-refinement query processing".  For model+residual schemes this is
+almost free: the model part of the compressed form (the references of
+FOR/PFOR, or a STEPFUNCTION form) already approximates every value to within
+a known bound — the offset width — so aggregates computed from the model
+alone come with hard error bounds, and the exact answer is one residual
+decode away.
+
+This module implements that for sums and averages over FOR-family forms:
+
+* :func:`approximate_sum` — an estimate plus a guaranteed ±bound, computed
+  from the references (and patch values) only;
+* :func:`refine_sum` — the exact answer, obtained by adding the decoded
+  offsets' contribution (the "gradual refinement" step);
+* :class:`ApproximateAnswer` — the value/bounds container both return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError
+from ..model.fitting import segment_index
+from ..schemes import _residuals
+from ..schemes.base import CompressedForm
+
+_SUPPORTED = ("FOR", "PFOR", "STEPFUNCTION")
+
+
+@dataclass(frozen=True)
+class ApproximateAnswer:
+    """An estimate with hard lower/upper bounds (inclusive).
+
+    ``exact`` is true when the bounds have collapsed onto the estimate —
+    either because the answer was computed exactly, or because the model had
+    no residual freedom left.
+    """
+
+    estimate: float
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def exact(self) -> bool:
+        return self.lower_bound == self.upper_bound
+
+    @property
+    def uncertainty(self) -> float:
+        """Half-width of the bound interval."""
+        return (self.upper_bound - self.lower_bound) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies within the guaranteed bounds."""
+        return self.lower_bound <= value <= self.upper_bound
+
+
+def _check_form(form: CompressedForm) -> None:
+    if form.scheme not in _SUPPORTED:
+        raise QueryError(
+            f"approximate aggregation expects a FOR/PFOR/STEPFUNCTION form, "
+            f"got {form.scheme!r}"
+        )
+
+
+def _per_element_offset_bounds(form: CompressedForm) -> tuple[int, int]:
+    """The (lo, hi) range every element's offset is guaranteed to lie in."""
+    if form.scheme == "STEPFUNCTION":
+        return 0, 0
+    width = int(form.parameter("offsets_width", 64))
+    span = (1 << min(width, 62)) - 1
+    if bool(form.parameter("offsets_zigzag", False)):
+        half = (span + 1) // 2
+        return -half, half
+    return 0, span
+
+
+def _model_sum(form: CompressedForm) -> int:
+    """Sum of the model evaluation (references replicated over their segments)."""
+    n = form.original_length
+    segment_length = int(form.parameter("segment_length"))
+    refs = form.constituent("refs").values.astype(np.int64)
+    # Full segments contribute ref * segment_length; the last may be shorter.
+    num_segments = len(refs)
+    counts = np.full(num_segments, segment_length, dtype=np.int64)
+    if num_segments:
+        counts[-1] = n - segment_length * (num_segments - 1)
+    total = int((refs * counts).sum())
+    if form.scheme == "PFOR":
+        # Patched elements' true values replace model + 0-offset values.
+        positions = form.constituent("patch_positions").values
+        if positions.size:
+            seg = segment_index(n, segment_length)
+            patch_values = form.constituent("patch_values").values.astype(np.int64)
+            total += int((patch_values - refs[seg[positions]]).sum())
+    return total
+
+
+def approximate_sum(form: CompressedForm) -> ApproximateAnswer:
+    """SUM(column) estimated from the model part of *form* alone.
+
+    The estimate assumes every offset sits at the middle of its possible
+    range; the bounds assume they all sit at one extreme.  No offsets are
+    decoded.
+    """
+    _check_form(form)
+    n = form.original_length
+    if n == 0:
+        return ApproximateAnswer(0.0, 0.0, 0.0)
+    model_total = _model_sum(form)
+    offset_lo, offset_hi = _per_element_offset_bounds(form)
+    patch_count = int(form.parameter("patch_count", 0)) if form.scheme == "PFOR" else 0
+    free_elements = n - patch_count
+    lower = model_total + offset_lo * free_elements
+    upper = model_total + offset_hi * free_elements
+    return ApproximateAnswer(
+        estimate=(lower + upper) / 2.0,
+        lower_bound=float(lower),
+        upper_bound=float(upper),
+    )
+
+
+def approximate_mean(form: CompressedForm) -> ApproximateAnswer:
+    """AVG(column) estimated from the model part of *form* alone."""
+    _check_form(form)
+    n = form.original_length
+    if n == 0:
+        raise QueryError("mean of an empty column")
+    total = approximate_sum(form)
+    return ApproximateAnswer(total.estimate / n, total.lower_bound / n,
+                             total.upper_bound / n)
+
+
+def refine_sum(form: CompressedForm) -> ApproximateAnswer:
+    """The exact SUM(column), obtained by adding the decoded offsets.
+
+    This is the "gradual refinement" step: everything already computed for
+    :func:`approximate_sum` is reused, and only the residual column is
+    decoded (STEPFUNCTION forms have no residuals to decode, so their
+    refined answer equals the model sum).
+    """
+    _check_form(form)
+    if form.original_length == 0:
+        return ApproximateAnswer(0.0, 0.0, 0.0)
+    total = _model_sum(form)
+    if form.scheme != "STEPFUNCTION":
+        offsets = _residuals.decode_residuals(form.constituent("offsets"), form.parameters)
+        if form.scheme == "PFOR":
+            positions = form.constituent("patch_positions").values
+            if positions.size:
+                offsets = offsets.copy()
+                offsets[positions] = 0  # patches were already accounted for exactly
+        total += int(offsets.sum())
+    return ApproximateAnswer(float(total), float(total), float(total))

@@ -1,0 +1,230 @@
+"""Physical operators over stored (compressed) tables.
+
+The engine is vectorised and chunk-at-a-time: operators consume and produce
+:class:`RowSelection` s (a chunk reference plus a position list), so filters
+stay in the cheap position-list ("late materialisation") currency for as
+long as possible and columns are only decompressed when their values are
+actually needed — and, when the pushdown module knows how, predicates are
+evaluated on the compressed form itself.
+
+The operator set is intentionally the one the paper's decompression plans
+are made of — selection, gather/materialisation, aggregation, hash join —
+to keep the "decompression is query execution" point front and centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..columnar.column import Column, concat_columns
+from ..errors import QueryError
+from ..storage.chunk import ColumnChunk
+from ..storage.table import Table
+from .predicates import Between, Predicate, RangeBounds
+from .pushdown import PushdownStats, range_mask_on_form
+
+
+@dataclass
+class ScanStats:
+    """Accounting of what a scan touched (drives experiments E9/E10)."""
+
+    chunks_total: int = 0
+    chunks_skipped: int = 0
+    chunks_fully_accepted: int = 0
+    chunks_pushed_down: int = 0
+    chunks_decompressed: int = 0
+    rows_scanned: int = 0
+    rows_selected: int = 0
+    pushdown: PushdownStats = field(default_factory=PushdownStats)
+
+    def merge_pushdown(self, stats: PushdownStats) -> None:
+        self.pushdown.rows_total += stats.rows_total
+        self.pushdown.rows_decoded += stats.rows_decoded
+        self.pushdown.segments_total += stats.segments_total
+        self.pushdown.segments_skipped += stats.segments_skipped
+        self.pushdown.segments_accepted += stats.segments_accepted
+        self.pushdown.runs_total += stats.runs_total
+
+
+@dataclass
+class SelectionVector:
+    """Qualifying global row positions (the engine's late-materialisation currency)."""
+
+    positions: Column
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @staticmethod
+    def from_mask(mask: np.ndarray, row_offset: int) -> "SelectionVector":
+        return SelectionVector(Column(np.flatnonzero(mask).astype(np.int64) + row_offset))
+
+    @staticmethod
+    def all_rows(row_count: int) -> "SelectionVector":
+        return SelectionVector(Column(np.arange(row_count, dtype=np.int64)))
+
+    @staticmethod
+    def concatenate(vectors: Sequence["SelectionVector"]) -> "SelectionVector":
+        if not vectors:
+            return SelectionVector(Column(np.empty(0, dtype=np.int64)))
+        return SelectionVector(concat_columns([v.positions for v in vectors]))
+
+
+# --------------------------------------------------------------------------- #
+# Selection (filter) over a stored table
+# --------------------------------------------------------------------------- #
+
+def filter_table(table: Table, predicate: Predicate,
+                 use_pushdown: bool = True,
+                 use_zone_maps: bool = True) -> Tuple[SelectionVector, ScanStats]:
+    """Evaluate *predicate* over its column, returning qualifying row positions.
+
+    Evaluation order per chunk: zone-map decision first (skip / accept the
+    whole chunk), then compressed-form pushdown when available and enabled,
+    then decompress-and-compare as the fallback.
+    """
+    stored = table.column(predicate.column_name)
+    stats = ScanStats(chunks_total=stored.num_chunks)
+    selections: List[SelectionVector] = []
+
+    for chunk in stored.iter_chunks():
+        stats.rows_scanned += chunk.row_count
+        decision = predicate.chunk_decision(chunk.statistics) if use_zone_maps else None
+        if decision is False:
+            stats.chunks_skipped += 1
+            continue
+        if decision is True:
+            stats.chunks_fully_accepted += 1
+            positions = np.arange(chunk.row_offset,
+                                  chunk.row_offset + chunk.row_count, dtype=np.int64)
+            selections.append(SelectionVector(Column(positions)))
+            stats.rows_selected += chunk.row_count
+            continue
+
+        mask = None
+        if use_pushdown and isinstance(predicate, Between):
+            bounds = RangeBounds(predicate.bounds.low, predicate.bounds.high)
+            pushed = range_mask_on_form(chunk.form, bounds)
+            if pushed is not None:
+                mask_column, push_stats = pushed
+                mask = mask_column.values
+                stats.chunks_pushed_down += 1
+                stats.merge_pushdown(push_stats)
+
+        if mask is None:
+            stats.chunks_decompressed += 1
+            values = chunk.decompress()
+            mask = predicate.evaluate(values).values
+
+        selection = SelectionVector.from_mask(mask, chunk.row_offset)
+        stats.rows_selected += len(selection)
+        selections.append(selection)
+
+    return SelectionVector.concatenate(selections), stats
+
+
+# --------------------------------------------------------------------------- #
+# Projection / materialisation
+# --------------------------------------------------------------------------- #
+
+def project(table: Table, selection: SelectionVector,
+            columns: Iterable[str]) -> Dict[str, Column]:
+    """Materialise the requested columns at the selected row positions."""
+    return table.materialize_rows(selection.positions, names=columns)
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------------- #
+
+_AGGREGATES = ("sum", "count", "min", "max", "mean")
+
+
+def aggregate(values: Column, how: str):
+    """A scalar aggregate over a materialised column."""
+    if how not in _AGGREGATES:
+        raise QueryError(f"unknown aggregate {how!r}; known: {_AGGREGATES}")
+    if how == "count":
+        return len(values)
+    if len(values) == 0:
+        raise QueryError(f"aggregate {how!r} over zero rows")
+    data = values.values
+    if how == "sum":
+        return int(data.sum(dtype=np.int64)) if np.issubdtype(data.dtype, np.integer) \
+            else float(data.sum())
+    if how == "min":
+        return data.min().item()
+    if how == "max":
+        return data.max().item()
+    return float(data.mean())
+
+
+def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
+                       ) -> Dict[str, Column]:
+    """Group *values* by *keys* and aggregate each group.
+
+    Returns ``{"key": ..., "aggregate": ...}`` columns sorted by key.  The
+    implementation is the textbook sort-free NumPy one: factorise the keys,
+    then use ``bincount`` / ``minimum.at`` style reductions.
+    """
+    if len(keys) != len(values):
+        raise QueryError("group_by_aggregate(): keys and values must have equal length")
+    if how not in _AGGREGATES:
+        raise QueryError(f"unknown aggregate {how!r}; known: {_AGGREGATES}")
+    unique_keys, codes = np.unique(keys.values, return_inverse=True)
+    data = values.values
+    if how == "count":
+        result = np.bincount(codes, minlength=unique_keys.size)
+    elif how == "sum":
+        result = np.bincount(codes, weights=data.astype(np.float64),
+                             minlength=unique_keys.size)
+        if np.issubdtype(data.dtype, np.integer):
+            result = np.rint(result).astype(np.int64)
+    elif how == "mean":
+        sums = np.bincount(codes, weights=data.astype(np.float64),
+                           minlength=unique_keys.size)
+        counts = np.bincount(codes, minlength=unique_keys.size)
+        result = sums / np.maximum(counts, 1)
+    else:
+        fill = np.iinfo(np.int64).max if how == "min" else np.iinfo(np.int64).min
+        result = np.full(unique_keys.size, fill, dtype=np.int64)
+        ufunc = np.minimum if how == "min" else np.maximum
+        ufunc.at(result, codes, data.astype(np.int64))
+    return {"key": Column(unique_keys, name="key"),
+            "aggregate": Column(result, name=f"{how}")}
+
+
+# --------------------------------------------------------------------------- #
+# Hash join
+# --------------------------------------------------------------------------- #
+
+def hash_join(left_keys: Column, right_keys: Column
+              ) -> Tuple[Column, Column]:
+    """Inner equi-join of two key columns.
+
+    Returns matching position pairs ``(left_positions, right_positions)``.
+    The build side is the right input; the probe uses ``searchsorted`` over
+    the sorted build keys, which is the NumPy-friendly stand-in for a hash
+    table and preserves the relevant behaviour (one probe per left row).
+    """
+    right = right_keys.values
+    order = np.argsort(right, kind="stable")
+    sorted_right = right[order]
+    left = left_keys.values
+
+    start = np.searchsorted(sorted_right, left, side="left")
+    stop = np.searchsorted(sorted_right, left, side="right")
+    counts = stop - start
+    if counts.sum() == 0:
+        empty = Column(np.empty(0, dtype=np.int64))
+        return empty, empty
+
+    left_positions = np.repeat(np.arange(left.size, dtype=np.int64), counts)
+    # For every match, the offset within its run of equal right keys.
+    within = np.arange(counts.sum(), dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    right_positions = order[np.repeat(start, counts) + within]
+    return Column(left_positions), Column(right_positions.astype(np.int64))

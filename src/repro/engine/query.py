@@ -1,0 +1,207 @@
+"""A small fluent query API over stored tables.
+
+This is the user-facing entry point of the execution substrate::
+
+    result = (Query(table)
+              .filter(Between("ship_date", date_lo, date_hi))
+              .aggregate("quantity", "sum")
+              .run())
+
+It is intentionally tiny — single-table filters, projections, scalar and
+grouped aggregates, plus an explicit two-table equi-join helper — but every
+step goes through the compressed-aware operators of
+:mod:`repro.engine.operators`, so the pushdown and late-materialisation
+behaviour the paper argues for is what actually executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..columnar.column import Column
+from ..errors import QueryError
+from ..storage.table import Table
+from .operators import (
+    ScanStats,
+    SelectionVector,
+    aggregate,
+    filter_table,
+    group_by_aggregate,
+    hash_join,
+    project,
+)
+from .predicates import Predicate
+
+
+@dataclass
+class QueryResult:
+    """The outcome of :meth:`Query.run`.
+
+    Attributes
+    ----------
+    columns:
+        Materialised result columns (projections, group keys, aggregates).
+    scalars:
+        Scalar aggregate results keyed by ``"<agg>(<column>)"``.
+    row_count:
+        Number of qualifying rows.
+    scan_stats:
+        What the scan touched (chunks skipped, pushdown counters, ...).
+    """
+
+    columns: Dict[str, Column] = field(default_factory=dict)
+    scalars: Dict[str, Union[int, float]] = field(default_factory=dict)
+    row_count: int = 0
+    scan_stats: Optional[ScanStats] = None
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise QueryError(
+                f"result has no column {name!r}; present: {sorted(self.columns)}"
+            ) from None
+
+
+class Query:
+    """A fluent, single-table query builder."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._predicates: List[Predicate] = []
+        self._projection: Optional[List[str]] = None
+        self._aggregates: List[Tuple[str, str]] = []
+        self._group_by: Optional[str] = None
+        self._use_pushdown = True
+        self._use_zone_maps = True
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+
+    def filter(self, predicate: Predicate) -> "Query":
+        """Add a predicate (multiple filters are AND-ed across columns)."""
+        if predicate.column_name not in self._table:
+            raise QueryError(f"unknown filter column {predicate.column_name!r}")
+        self._predicates.append(predicate)
+        return self
+
+    def project(self, *columns: str) -> "Query":
+        """Select which columns to materialise for qualifying rows."""
+        for name in columns:
+            if name not in self._table:
+                raise QueryError(f"unknown projection column {name!r}")
+        self._projection = list(columns)
+        return self
+
+    def aggregate(self, column: str, how: str) -> "Query":
+        """Add a scalar (or, with :meth:`group_by`, grouped) aggregate.
+
+        ``aggregate("*", "count")`` counts qualifying rows without touching
+        any column's values.
+        """
+        if column == "*":
+            if how != "count":
+                raise QueryError('only count may aggregate over "*"')
+        elif column not in self._table:
+            raise QueryError(f"unknown aggregate column {column!r}")
+        self._aggregates.append((column, how))
+        return self
+
+    def group_by(self, column: str) -> "Query":
+        """Group the aggregates by *column*."""
+        if column not in self._table:
+            raise QueryError(f"unknown group-by column {column!r}")
+        self._group_by = column
+        return self
+
+    def without_pushdown(self) -> "Query":
+        """Disable compressed-form pushdown (baseline mode for benchmarks)."""
+        self._use_pushdown = False
+        return self
+
+    def without_zone_maps(self) -> "Query":
+        """Disable chunk skipping from statistics (baseline mode for benchmarks)."""
+        self._use_zone_maps = False
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _selection(self) -> Tuple[SelectionVector, Optional[ScanStats]]:
+        if not self._predicates:
+            return SelectionVector.all_rows(self._table.row_count), None
+        combined: Optional[SelectionVector] = None
+        stats: Optional[ScanStats] = None
+        for predicate in self._predicates:
+            selection, scan_stats = filter_table(
+                self._table, predicate,
+                use_pushdown=self._use_pushdown,
+                use_zone_maps=self._use_zone_maps,
+            )
+            stats = scan_stats if stats is None else stats
+            if combined is None:
+                combined = selection
+            else:
+                import numpy as np
+
+                merged = np.intersect1d(combined.positions.values,
+                                        selection.positions.values,
+                                        assume_unique=True)
+                combined = SelectionVector(Column(merged))
+        assert combined is not None
+        return combined, stats
+
+    def run(self) -> QueryResult:
+        """Execute the query and return a :class:`QueryResult`."""
+        selection, stats = self._selection()
+        result = QueryResult(row_count=len(selection), scan_stats=stats)
+
+        if self._group_by is not None:
+            if not self._aggregates:
+                raise QueryError("group_by() requires at least one aggregate()")
+            keys = self._table.column(self._group_by).materialize_rows(selection.positions)
+            for column_name, how in self._aggregates:
+                if column_name == "*":
+                    column_name, how = self._group_by, "count"
+                values = self._table.column(column_name).materialize_rows(selection.positions)
+                grouped = group_by_aggregate(keys, values, how=how)
+                result.columns[self._group_by] = grouped["key"].rename(self._group_by)
+                result.columns[f"{how}({column_name})"] = grouped["aggregate"]
+            return result
+
+        for column_name, how in self._aggregates:
+            if how == "count" and column_name == "*":
+                result.scalars["count(*)"] = len(selection)
+                continue
+            values = self._table.column(column_name).materialize_rows(selection.positions)
+            result.scalars[f"{how}({column_name})"] = aggregate(values, how)
+
+        if self._projection is not None:
+            result.columns.update(project(self._table, selection, self._projection))
+        elif not self._aggregates:
+            result.columns.update(project(self._table, selection, self._table.column_names))
+        return result
+
+
+def join_tables(left: Table, right: Table, left_key: str, right_key: str,
+                project_left: Optional[List[str]] = None,
+                project_right: Optional[List[str]] = None) -> Dict[str, Column]:
+    """Inner equi-join two tables on a key column each, materialising projections.
+
+    Key columns are materialised (decompressed) for the join itself; the
+    projected payload columns are materialised only at the matching
+    positions — the late-materialisation discipline again.
+    """
+    left_keys = left.column(left_key).materialize()
+    right_keys = right.column(right_key).materialize()
+    left_positions, right_positions = hash_join(left_keys, right_keys)
+
+    output: Dict[str, Column] = {}
+    for name in project_left or [left_key]:
+        output[f"left.{name}"] = left.column(name).materialize_rows(left_positions)
+    for name in project_right or [right_key]:
+        output[f"right.{name}"] = right.column(name).materialize_rows(right_positions)
+    return output

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses distinguish misuse of
+the columnar algebra, malformed compressed forms, planning failures, and
+storage-level problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ColumnError(ReproError):
+    """A column was constructed or used incorrectly (wrong shape, dtype, ...)."""
+
+
+class OperatorError(ReproError):
+    """A columnar operator was invoked with invalid operands."""
+
+
+class UnknownOperatorError(OperatorError):
+    """An operator name was looked up in the registry but is not registered."""
+
+
+class PlanError(ReproError):
+    """An operator plan is malformed or cannot be evaluated."""
+
+
+class CompressionError(ReproError):
+    """A compression scheme could not compress the given column."""
+
+
+class DecompressionError(ReproError):
+    """A compressed form is malformed or inconsistent and cannot be decompressed."""
+
+
+class SchemeParameterError(CompressionError):
+    """A compression scheme was configured with invalid parameters."""
+
+
+class ModelFitError(ReproError):
+    """A low-dimensional column model could not be fitted to the data."""
+
+
+class StorageError(ReproError):
+    """A storage-layer object (segment, chunk, table) was used incorrectly."""
+
+
+class QueryError(ReproError):
+    """A query or physical operator was constructed or executed incorrectly."""
+
+
+class PlanningError(ReproError):
+    """The compression planner / advisor could not produce a valid decision."""

@@ -1,0 +1,145 @@
+"""Residual analysis: choosing how to encode the "noise" around a model.
+
+Lessons-learned 2 of the paper: *"Some compression schemes separate a
+simpler, coarser, inaccurate representation of the data from finer, local,
+noise-like complementary features."*  Given a fitted model and the data, the
+question is how to encode the complementary features (the residuals), and
+the answer depends on which metric the data is "close" to the model in:
+
+* small **L∞** distance → fixed-width offsets (plain FOR / NS residuals);
+* small **L0** distance → patches (store the few divergent positions);
+* small **bit-cost** distance but occasional large deviations → variable
+  width residuals.
+
+:class:`ResidualProfile` computes the statistics a planner needs to make
+that call, and :func:`recommend_residual_encoding` turns them into a
+recommendation used by the compression advisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal
+
+import numpy as np
+
+from ..columnar.column import Column
+from . import metrics
+from .fitting import SegmentedModel
+
+ResidualEncoding = Literal["none", "fixed_width", "patched", "variable_width"]
+
+
+@dataclass
+class ResidualProfile:
+    """Summary statistics of the residuals of a model fit.
+
+    Attributes
+    ----------
+    count:
+        Number of residuals (column length).
+    nonzero:
+        Number of non-zero residuals (the L0 distance to the model).
+    max_magnitude:
+        Largest absolute residual (the L∞ distance to the model).
+    fixed_width_bits:
+        Bits per value a fixed-width signed offset column would need.
+    total_bit_cost:
+        The paper's product bit-cost metric over all residuals.
+    width_histogram:
+        Mapping from bit width to the number of residuals needing exactly
+        that many (magnitude) bits; width 0 counts exact matches.
+    """
+
+    count: int
+    nonzero: int
+    max_magnitude: int
+    fixed_width_bits: int
+    total_bit_cost: int
+    width_histogram: Dict[int, int]
+
+    @property
+    def l0_fraction(self) -> float:
+        """Fraction of positions that deviate from the model at all."""
+        return self.nonzero / self.count if self.count else 0.0
+
+    def fixed_width_total_bits(self) -> int:
+        """Total bits under a fixed-width residual encoding."""
+        return self.count * self.fixed_width_bits
+
+    def patched_total_bits(self, value_bits: int, position_bits: int) -> int:
+        """Total bits under a patch encoding: each divergent position stores
+        its position and its full value; non-divergent positions cost nothing
+        beyond the model."""
+        return self.nonzero * (value_bits + position_bits)
+
+    def variable_width_total_bits(self, width_field_bits: int = 3) -> int:
+        """Total bits under a per-value variable-width encoding, charging
+        *width_field_bits* per value for the width bookkeeping (which the
+        paper elides "for simplicity of presentation" but a real encoding
+        must pay)."""
+        return self.total_bit_cost + self.count * width_field_bits
+
+
+def profile_residuals(residuals) -> ResidualProfile:
+    """Compute a :class:`ResidualProfile` for an array/column of integer residuals."""
+    values = residuals.values if isinstance(residuals, Column) else np.asarray(residuals)
+    values = values.astype(np.int64, copy=False)
+    count = int(values.size)
+    if count == 0:
+        return ResidualProfile(0, 0, 0, 1, 0, {})
+    magnitude = np.abs(values)
+    nonzero = int(np.count_nonzero(magnitude))
+    max_magnitude = int(magnitude.max())
+    fixed_width = max(1, max_magnitude.bit_length() + 1)  # sign bit included
+    nz = magnitude[magnitude > 0]
+    if nz.size:
+        widths = np.floor(np.log2(nz.astype(np.float64))).astype(np.int64) + 1
+        total_bit_cost = int(widths.sum())
+        histogram_values, histogram_counts = np.unique(widths, return_counts=True)
+        histogram = {int(w): int(c) for w, c in zip(histogram_values, histogram_counts)}
+    else:
+        total_bit_cost = 0
+        histogram = {}
+    histogram[0] = count - nonzero
+    return ResidualProfile(
+        count=count,
+        nonzero=nonzero,
+        max_magnitude=max_magnitude,
+        fixed_width_bits=fixed_width,
+        total_bit_cost=total_bit_cost,
+        width_histogram=histogram,
+    )
+
+
+def profile_model_fit(model: SegmentedModel, column) -> ResidualProfile:
+    """Profile the residuals of *model* against *column*."""
+    values = column.values if isinstance(column, Column) else np.asarray(column)
+    return profile_residuals(model.residuals(values))
+
+
+def recommend_residual_encoding(
+    profile: ResidualProfile,
+    value_bits: int = 64,
+    position_bits: int = 32,
+    patch_threshold: float = 0.05,
+) -> ResidualEncoding:
+    """Recommend how to encode residuals with the given profile.
+
+    The rules mirror the paper's metric-to-scheme correspondence:
+
+    * all residuals zero → the model alone is lossless (``"none"``);
+    * few positions deviate (L0 fraction below *patch_threshold*) → patches;
+    * otherwise choose fixed-width or variable-width offsets, whichever
+      costs fewer total bits (including the width bookkeeping for the
+      variable-width option).
+    """
+    if profile.count == 0 or profile.nonzero == 0:
+        return "none"
+    if profile.l0_fraction <= patch_threshold:
+        patched = profile.patched_total_bits(value_bits, position_bits)
+        if patched < profile.fixed_width_total_bits():
+            return "patched"
+    fixed = profile.fixed_width_total_bits()
+    variable = profile.variable_width_total_bits()
+    return "fixed_width" if fixed <= variable else "variable_width"

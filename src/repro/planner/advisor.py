@@ -1,0 +1,184 @@
+"""The compression advisor: choose a scheme (or cascade) per column.
+
+Given a column (or a sample of it), the advisor:
+
+1. computes statistics (:mod:`repro.storage.statistics`);
+2. draws up a candidate list — the stand-alone schemes plus the cascades the
+   decomposition view makes natural (RLE∘DELTA-on-values for sorted runs,
+   DELTA-under-NS via FOR for smooth data, ...);
+3. scores every candidate by *measured* bits-per-value and decompression
+   cost on a sample (statistics-only estimates are used to prune candidates
+   that cannot win, so the expensive trial compressions stay few);
+4. returns a ranked :class:`AdvisorReport`.
+
+The advisor is deliberately empirical ("compress a sample and look") — the
+thing the paper contributes is the *space of candidates*, in particular the
+composites; the advisor's job is to search that space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..columnar.column import Column
+from ..errors import CompressionError, PlanningError
+from ..schemes import (
+    Cascade,
+    Delta,
+    DictionaryEncoding,
+    FrameOfReference,
+    Identity,
+    NullSuppression,
+    PatchedFrameOfReference,
+    PiecewiseLinear,
+    RunLengthEncoding,
+    RunPositionEncoding,
+    VariableWidth,
+)
+from ..schemes.base import CompressionScheme
+from ..storage.statistics import ColumnStatistics, compute_statistics
+from .cost_model import measure_bits_per_value, measure_decompression_cost
+
+
+@dataclass
+class CandidateEvaluation:
+    """One candidate scheme's measured performance on the sample."""
+
+    scheme: CompressionScheme
+    bits_per_value: float
+    decompression_cost_per_value: float
+    error: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.error is None
+
+    def score(self, size_weight: float = 1.0, speed_weight: float = 0.25) -> float:
+        if not self.feasible:
+            return float("inf")
+        return (size_weight * self.bits_per_value
+                + speed_weight * self.decompression_cost_per_value)
+
+
+@dataclass
+class AdvisorReport:
+    """The advisor's ranked verdict for one column."""
+
+    column_name: str
+    statistics: ColumnStatistics
+    evaluations: List[CandidateEvaluation] = field(default_factory=list)
+    size_weight: float = 1.0
+    speed_weight: float = 0.25
+
+    @property
+    def best(self) -> CandidateEvaluation:
+        feasible = [e for e in self.evaluations if e.feasible]
+        if not feasible:
+            raise PlanningError(f"no feasible scheme for column {self.column_name!r}")
+        return min(feasible, key=lambda e: e.score(self.size_weight, self.speed_weight))
+
+    def ranked(self) -> List[CandidateEvaluation]:
+        """All feasible evaluations, best first."""
+        feasible = [e for e in self.evaluations if e.feasible]
+        return sorted(feasible, key=lambda e: e.score(self.size_weight, self.speed_weight))
+
+    def summary(self) -> str:
+        """A small text table of the ranking (scheme, bits/value, cost)."""
+        lines = [f"Advisor report for {self.column_name!r} "
+                 f"(n={self.statistics.count}, runs={self.statistics.run_count}, "
+                 f"distinct={self.statistics.distinct_count})"]
+        for evaluation in self.ranked():
+            lines.append(
+                f"  {evaluation.scheme.describe():55s} "
+                f"{evaluation.bits_per_value:8.2f} bits/value   "
+                f"cost {evaluation.decompression_cost_per_value:8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def default_candidates(stats: ColumnStatistics,
+                       segment_length: int = 128) -> List[CompressionScheme]:
+    """The candidate list for a column with the given statistics.
+
+    Statistics prune obvious non-starters (RLE when there are no runs, DICT
+    when nearly every value is distinct) and add the composites that the
+    statistics make promising.
+    """
+    candidates: List[CompressionScheme] = [Identity(), NullSuppression(),
+                                           VariableWidth()]
+    candidates.append(FrameOfReference(segment_length=segment_length))
+    candidates.append(PatchedFrameOfReference(segment_length=segment_length))
+    candidates.append(PiecewiseLinear(segment_length=segment_length))
+    candidates.append(Delta())
+
+    if stats.average_run_length >= 1.5:
+        candidates.append(RunLengthEncoding())
+        candidates.append(RunPositionEncoding())
+        # The paper's §I example: runs whose values themselves form a smooth
+        # (e.g. monotone) sequence compress much further when the run values
+        # are DELTA'd and the lengths narrowed.
+        candidates.append(Cascade(RunLengthEncoding(),
+                                  {"values": Delta(), "lengths": NullSuppression()}))
+        candidates.append(Cascade(RunPositionEncoding(),
+                                  {"values": Delta(), "run_positions": Delta()}))
+    if 1 < stats.distinct_count and stats.distinct_fraction <= 0.5:
+        candidates.append(DictionaryEncoding())
+    if stats.max_delta_bits <= stats.value_bits:
+        candidates.append(Cascade(Delta(narrow=False), {"deltas": NullSuppression()}))
+        candidates.append(Cascade(Delta(narrow=False), {"deltas": VariableWidth()}))
+    return candidates
+
+
+def advise(
+    column: Column,
+    candidates: Optional[Sequence[CompressionScheme]] = None,
+    sample_size: int = 8192,
+    size_weight: float = 1.0,
+    speed_weight: float = 0.25,
+    seed: int = 0,
+) -> AdvisorReport:
+    """Rank candidate schemes for *column* and return an :class:`AdvisorReport`.
+
+    A contiguous sample (plus the column's head) of about *sample_size*
+    values is used for the trial compressions; contiguity matters because
+    run- and locality-exploiting schemes would be destroyed by random-row
+    sampling.
+    """
+    if len(column) == 0:
+        raise PlanningError("cannot advise on an empty column")
+    stats = compute_statistics(column)
+    if candidates is None:
+        candidates = default_candidates(stats)
+
+    sample = column
+    if len(column) > sample_size:
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, len(column) - sample_size + 1))
+        sample = Column(column.values[start:start + sample_size], name=column.name)
+
+    report = AdvisorReport(column_name=column.name or "<unnamed>", statistics=stats,
+                           size_weight=size_weight, speed_weight=speed_weight)
+    for scheme in candidates:
+        try:
+            bits = measure_bits_per_value(scheme, sample)
+            cost = measure_decompression_cost(scheme, sample)
+            if not scheme.is_lossless:
+                raise CompressionError("lossy model schemes are not stand-alone candidates")
+            report.evaluations.append(CandidateEvaluation(scheme, bits, cost))
+        except CompressionError as exc:
+            report.evaluations.append(
+                CandidateEvaluation(scheme, float("inf"), float("inf"), error=str(exc))
+            )
+    return report
+
+
+def choose_scheme(column: Column, **advise_kwargs) -> CompressionScheme:
+    """Convenience wrapper: return only the best scheme for *column*.
+
+    This is the callable the storage layer accepts as a per-chunk scheme
+    chooser: ``StoredColumn.from_column(col, scheme=choose_scheme)``.
+    """
+    return advise(column, **advise_kwargs).best.scheme

@@ -1,0 +1,72 @@
+"""Lightweight compression schemes, their composition and decomposition.
+
+The scheme zoo of the paper (and its proposed extensions), each implemented
+as a :class:`~repro.schemes.base.CompressionScheme` whose decompression is a
+plan of columnar operators:
+
+============  ==============================================================
+Name          Scheme
+============  ==============================================================
+ID            :class:`~repro.schemes.identity.Identity` — no compression
+NS            :class:`~repro.schemes.ns.NullSuppression` — bit packing
+DELTA         :class:`~repro.schemes.delta.Delta` — adjacent differences
+RLE           :class:`~repro.schemes.rle.RunLengthEncoding`
+RPE           :class:`~repro.schemes.rpe.RunPositionEncoding`
+FOR           :class:`~repro.schemes.for_.FrameOfReference`
+STEPFUNCTION  :class:`~repro.schemes.stepfunction.StepFunctionModel` (lossy)
+DICT          :class:`~repro.schemes.dict_.DictionaryEncoding`
+PFOR          :class:`~repro.schemes.patched.PatchedFrameOfReference`
+VARWIDTH      :class:`~repro.schemes.varwidth.VariableWidth`
+LINEAR        :class:`~repro.schemes.model_based.PiecewiseLinear`
+POLY          :class:`~repro.schemes.model_based.PiecewisePolynomial`
+(composite)   :class:`~repro.schemes.composite.Cascade`
+============  ==============================================================
+
+The paper's decomposition identities live in
+:mod:`repro.schemes.decomposition`; scheme construction by name in
+:mod:`repro.schemes.registry`.
+"""
+
+from .base import CompressedForm, CompressionScheme, ensure_lossless_roundtrip
+from .composite import Cascade
+from .delta import Delta
+from .dict_ import DictionaryEncoding
+from .for_ import FrameOfReference, build_for_decompression_plan
+from .identity import Identity
+from .model_based import PiecewiseLinear, PiecewisePolynomial
+from .ns import NullSuppression
+from .patched import PatchedFrameOfReference
+from .registry import SCHEME_FACTORIES, available_schemes, make_cascade, make_scheme
+from .rle import RunLengthEncoding, build_rle_decompression_plan
+from .rpe import RunPositionEncoding, build_rpe_decompression_plan
+from .stepfunction import StepFunctionModel, build_stepfunction_evaluation_plan
+from .varwidth import VariableWidth
+from . import decomposition
+
+__all__ = [
+    "CompressedForm",
+    "CompressionScheme",
+    "ensure_lossless_roundtrip",
+    "Cascade",
+    "Delta",
+    "DictionaryEncoding",
+    "FrameOfReference",
+    "Identity",
+    "NullSuppression",
+    "PatchedFrameOfReference",
+    "PiecewiseLinear",
+    "PiecewisePolynomial",
+    "RunLengthEncoding",
+    "RunPositionEncoding",
+    "StepFunctionModel",
+    "VariableWidth",
+    "SCHEME_FACTORIES",
+    "available_schemes",
+    "make_cascade",
+    "make_scheme",
+    "build_for_decompression_plan",
+    "build_rle_decompression_plan",
+    "build_rpe_decompression_plan",
+    "build_stepfunction_evaluation_plan",
+    "decomposition",
+]

@@ -1,0 +1,293 @@
+"""Base classes of the compression-scheme layer.
+
+The paper's "columnar view" of compression is that a compressed column *is
+just a bundle of plainer columns plus a few scalar parameters* — no block
+headers, no padding, no storage adornments (those belong to the storage
+layer, :mod:`repro.storage`).  :class:`CompressedForm` is that bundle, and
+:class:`CompressionScheme` is the interface every scheme implements:
+
+* ``compress(column) -> CompressedForm``
+* ``decompression_plan(form) -> Plan`` — decompression *as data*, expressed
+  in the columnar operator algebra;
+* ``decompress(form) -> Column`` — by definition, evaluating that plan (a
+  scheme may also provide a hand-fused kernel via ``decompress_fused`` as a
+  cross-check and a performance baseline).
+
+Lossy "model" schemes (the step-function model of §II-B, the piecewise
+linear/polynomial enrichments) set ``is_lossless = False`` and additionally
+report the reconstruction error of their approximation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..columnar.column import Column
+from ..columnar.plan import Plan
+from ..errors import CompressionError, DecompressionError
+
+
+@dataclass
+class CompressedForm:
+    """A compressed column: named constituent columns plus scalar parameters.
+
+    Attributes
+    ----------
+    scheme:
+        The ``name`` of the scheme that produced this form.
+    columns:
+        The constituent columns, keyed by their role (e.g. ``"lengths"`` and
+        ``"values"`` for RLE).  These are *pure* columns, in the paper's
+        sense.
+    parameters:
+        Scalar parameters needed for decompression (segment length, bit
+        width, element count, ...).
+    original_length:
+        Length of the uncompressed column.
+    original_dtype:
+        Dtype of the uncompressed column (decompression restores it).
+    nested:
+        For composite schemes: the compressed forms of constituents that were
+        themselves compressed, keyed by constituent name.  A constituent
+        appears either in ``columns`` or in ``nested``, never both.
+    """
+
+    scheme: str
+    columns: Dict[str, Column]
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    original_length: int = 0
+    original_dtype: Any = np.int64
+    nested: Dict[str, "CompressedForm"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Access helpers
+    # ------------------------------------------------------------------ #
+
+    def constituent(self, name: str) -> Column:
+        """Return the constituent column *name* (raises if absent)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise DecompressionError(
+                f"compressed form of {self.scheme!r} has no constituent {name!r}; "
+                f"present: {sorted(self.columns)}"
+            ) from None
+
+    def parameter(self, name: str, default: Any = None) -> Any:
+        """Return scalar parameter *name* (or *default*)."""
+        return self.parameters.get(name, default)
+
+    def constituent_names(self) -> Tuple[str, ...]:
+        """Names of all constituents (plain and nested), sorted."""
+        return tuple(sorted(set(self.columns) | set(self.nested)))
+
+    def with_constituent(self, name: str, column: Column) -> "CompressedForm":
+        """Return a copy of the form with constituent *name* replaced."""
+        columns = dict(self.columns)
+        columns[name] = column
+        return CompressedForm(
+            scheme=self.scheme,
+            columns=columns,
+            parameters=dict(self.parameters),
+            original_length=self.original_length,
+            original_dtype=self.original_dtype,
+            nested=dict(self.nested),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+
+    def compressed_size_bytes(self) -> int:
+        """Total physical size of all constituent columns, in bytes.
+
+        Nested (re-compressed) constituents contribute the size of *their*
+        compressed form.  Scalar parameters are not counted: the paper's
+        "pure columns" view places them with the schema, and they are O(1)
+        per column anyway.
+        """
+        size = sum(col.nbytes for col in self.columns.values())
+        size += sum(sub.compressed_size_bytes() for sub in self.nested.values())
+        return int(size)
+
+    def uncompressed_size_bytes(self) -> int:
+        """Size the column occupies uncompressed (original dtype × length)."""
+        return int(self.original_length * np.dtype(self.original_dtype).itemsize)
+
+    def compression_ratio(self) -> float:
+        """Uncompressed size divided by compressed size (higher is better)."""
+        compressed = self.compressed_size_bytes()
+        if compressed == 0:
+            return float("inf") if self.original_length else 1.0
+        return self.uncompressed_size_bytes() / compressed
+
+    def bits_per_value(self) -> float:
+        """Average compressed bits spent per uncompressed value."""
+        if self.original_length == 0:
+            return 0.0
+        return 8.0 * self.compressed_size_bytes() / self.original_length
+
+    def summary(self) -> str:
+        """One-line human-readable summary (scheme, sizes, ratio)."""
+        return (
+            f"{self.scheme}: {self.uncompressed_size_bytes()} B -> "
+            f"{self.compressed_size_bytes()} B "
+            f"(ratio {self.compression_ratio():.2f}x, "
+            f"{self.bits_per_value():.2f} bits/value)"
+        )
+
+
+class CompressionScheme(abc.ABC):
+    """Interface implemented by every compression scheme.
+
+    Subclasses set :attr:`name` and implement :meth:`compress` and
+    :meth:`decompression_plan`; everything else has sensible defaults.
+    """
+
+    #: Registry name of the scheme (e.g. ``"RLE"``); subclasses override.
+    name: str = "ABSTRACT"
+
+    #: Whether decompression reproduces the input exactly.  Model schemes
+    #: (step function, piecewise linear, ...) are lossy by themselves; they
+    #: only become lossless when composed with a residual scheme.
+    is_lossless: bool = True
+
+    # ------------------------------------------------------------------ #
+    # Mandatory interface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def compress(self, column: Column) -> CompressedForm:
+        """Compress *column* into a :class:`CompressedForm`."""
+
+    @abc.abstractmethod
+    def decompression_plan(self, form: CompressedForm) -> Plan:
+        """Return the columnar-operator plan that decompresses *form*.
+
+        The plan's inputs are (a subset of) the form's constituent names;
+        evaluating it with those columns yields the decompressed data.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Defaults
+    # ------------------------------------------------------------------ #
+
+    def decompress(self, form: CompressedForm) -> Column:
+        """Decompress by evaluating :meth:`decompression_plan`.
+
+        The output is cast back to the original dtype of the column.
+        """
+        self._check_form(form)
+        plan = self.decompression_plan(form)
+        result = plan.evaluate(self.plan_inputs(form))
+        return self._restore(result, form)
+
+    def decompress_fused(self, form: CompressedForm) -> Column:
+        """Decompress with a hand-fused kernel, when the scheme provides one.
+
+        The default simply falls back to the plan-based path; schemes that
+        override this are used as the "direct kernel" baseline in the
+        plan-vs-kernel experiments (E2/E3).
+        """
+        return self.decompress(form)
+
+    def plan_inputs(self, form: CompressedForm) -> Dict[str, Column]:
+        """The columns to bind when evaluating the decompression plan.
+
+        By default every plain constituent is bound under its own name.
+        Composite schemes override this to splice nested forms.
+        """
+        return dict(form.columns)
+
+    def validate(self, column: Column) -> None:
+        """Raise :class:`CompressionError` when *column* cannot be compressed.
+
+        The default accepts any integer column; schemes with further
+        requirements (non-negative data, sortedness, ...) override.
+        """
+        if not np.issubdtype(column.dtype, np.integer):
+            raise CompressionError(
+                f"{self.name} compresses integer columns; got dtype {column.dtype}"
+            )
+
+    def expected_constituents(self) -> Tuple[str, ...]:
+        """Names of the constituent columns :meth:`compress` produces."""
+        return ()
+
+    def parameters(self) -> Dict[str, Any]:
+        """The scheme's own configuration parameters (for reporting/registry)."""
+        return {}
+
+    def describe(self) -> str:
+        """Human-readable one-liner, including configuration."""
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters().items())
+        return f"{self.name}({params})" if params else self.name
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------ #
+
+    def _check_form(self, form: CompressedForm) -> None:
+        if form.scheme != self.name:
+            raise DecompressionError(
+                f"form was produced by scheme {form.scheme!r}, "
+                f"but {self.name!r} was asked to decompress it"
+            )
+
+    def _restore(self, column: Column, form: CompressedForm) -> Column:
+        """Cast the decompressed values back to the original dtype and length-check."""
+        if len(column) != form.original_length:
+            raise DecompressionError(
+                f"{self.name}: decompression produced {len(column)} values, "
+                f"expected {form.original_length}"
+            )
+        if column.dtype != np.dtype(form.original_dtype):
+            column = column.astype(form.original_dtype)
+        return column
+
+    def _empty_form(self, column: Column, **parameters: Any) -> CompressedForm:
+        """A form for an empty input column (all schemes share this shape)."""
+        return CompressedForm(
+            scheme=self.name,
+            columns={name: Column.empty(np.int64, name=name)
+                     for name in self.expected_constituents()},
+            parameters=dict(parameters),
+            original_length=0,
+            original_dtype=column.dtype,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Round-trip convenience
+    # ------------------------------------------------------------------ #
+
+    def roundtrip(self, column: Column) -> Column:
+        """Compress then decompress (used heavily by tests)."""
+        return self.decompress(self.compress(column))
+
+    def compression_ratio(self, column: Column) -> float:
+        """Compression ratio achieved on *column*."""
+        return self.compress(column).compression_ratio()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def ensure_lossless_roundtrip(scheme: CompressionScheme, column: Column) -> CompressedForm:
+    """Compress *column* and verify the round trip, returning the form.
+
+    A convenience for callers (storage layer, advisor) that must never
+    silently corrupt data: the cost of the extra decompression is accepted
+    in exchange for the guarantee.
+    """
+    form = scheme.compress(column)
+    if scheme.is_lossless:
+        restored = scheme.decompress(form)
+        if not restored.equals(column):
+            raise CompressionError(
+                f"{scheme.describe()} failed to round-trip a column of length {len(column)}"
+            )
+    return form

@@ -1,0 +1,202 @@
+"""Scheme composition: the ∘ operator of the paper.
+
+Two flavours of composition appear in the paper:
+
+* the **motivating example** of §I — apply RLE to a date column, then apply
+  DELTA *to the run values* — i.e. re-compress one or more constituent
+  columns of a compressed form with further schemes;
+* the **decomposition identities** of §II — e.g.
+  ``RLE ≡ (ID for values, DELTA for run_positions) ∘ RPE`` — which read an
+  existing scheme as exactly such a composition.
+
+:class:`Cascade` implements the general form: an *outer* scheme plus a
+mapping from constituent names to *inner* schemes.  Compression applies the
+outer scheme and then compresses the selected constituents; decompression
+either reconstructs the constituents first (the fused path) or splices the
+inner decompression plans in front of the outer plan (the plan path), so the
+whole composite still decompresses as one flat sequence of columnar
+operators — which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from ..columnar.column import Column
+from ..columnar.plan import Plan
+from ..errors import DecompressionError, SchemeParameterError
+from .base import CompressedForm, CompressionScheme
+from .identity import Identity
+
+
+def _is_identity(scheme: CompressionScheme) -> bool:
+    return isinstance(scheme, Identity) or scheme.name == Identity.name
+
+
+class Cascade(CompressionScheme):
+    """Compose an outer scheme with inner schemes applied to its constituents.
+
+    Parameters
+    ----------
+    outer:
+        The scheme applied to the original column.
+    inner:
+        Mapping from constituent name (of the outer scheme's compressed form)
+        to the scheme used to re-compress that constituent.  Constituents not
+        mentioned — or mapped to :class:`Identity` — are stored as-is.
+
+    Example
+    -------
+    The paper's shipping-dates example ("applying an RLE scheme to the dates,
+    then applying DELTA to the run values")::
+
+        Cascade(RunLengthEncoding(), {"values": Delta()})
+    """
+
+    def __init__(self, outer: CompressionScheme, inner: Mapping[str, CompressionScheme]):
+        if not isinstance(outer, CompressionScheme):
+            raise SchemeParameterError("Cascade outer must be a CompressionScheme")
+        expected = set(outer.expected_constituents())
+        for constituent in inner:
+            if expected and constituent not in expected:
+                raise SchemeParameterError(
+                    f"Cascade inner scheme given for unknown constituent {constituent!r} "
+                    f"of {outer.name}; expected one of {sorted(expected)}"
+                )
+        self.outer = outer
+        self.inner: Dict[str, CompressionScheme] = {
+            name: scheme for name, scheme in inner.items() if not _is_identity(scheme)
+        }
+        self.is_lossless = outer.is_lossless and all(
+            scheme.is_lossless for scheme in self.inner.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Naming / description
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        inner = ",".join(f"{cons}={scheme.name}" for cons, scheme in sorted(self.inner.items()))
+        return f"{self.outer.name}∘[{inner}]" if inner else self.outer.name
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{cons}: {scheme.describe()}" for cons, scheme in sorted(self.inner.items())
+        )
+        return f"{self.outer.describe()} ∘ [{inner}]" if inner else self.outer.describe()
+
+    def parameters(self) -> Dict[str, Any]:
+        return {
+            "outer": self.outer.describe(),
+            "inner": {name: scheme.describe() for name, scheme in self.inner.items()},
+        }
+
+    def expected_constituents(self) -> Tuple[str, ...]:
+        return self.outer.expected_constituents()
+
+    def validate(self, column: Column) -> None:
+        self.outer.validate(column)
+
+    # ------------------------------------------------------------------ #
+    # Compression
+    # ------------------------------------------------------------------ #
+
+    def compress(self, column: Column) -> CompressedForm:
+        """Apply the outer scheme, then re-compress the selected constituents."""
+        outer_form = self.outer.compress(column)
+        columns = dict(outer_form.columns)
+        nested: Dict[str, CompressedForm] = dict(outer_form.nested)
+        for constituent, scheme in self.inner.items():
+            if constituent not in columns:
+                raise DecompressionError(
+                    f"outer scheme {self.outer.name} produced no constituent "
+                    f"{constituent!r} to re-compress"
+                )
+            nested[constituent] = scheme.compress(columns.pop(constituent))
+        return CompressedForm(
+            scheme=self.name,
+            columns=columns,
+            parameters=dict(outer_form.parameters),
+            original_length=outer_form.original_length,
+            original_dtype=outer_form.original_dtype,
+            nested=nested,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decompression
+    # ------------------------------------------------------------------ #
+
+    def _outer_form(self, form: CompressedForm) -> CompressedForm:
+        """Reconstruct the outer scheme's compressed form (decompressing nested parts)."""
+        columns = dict(form.columns)
+        for constituent, scheme in self.inner.items():
+            nested_form = form.nested.get(constituent)
+            if nested_form is None:
+                raise DecompressionError(
+                    f"composite form is missing nested constituent {constituent!r}"
+                )
+            columns[constituent] = scheme.decompress(nested_form).rename(constituent)
+        return CompressedForm(
+            scheme=self.outer.name,
+            columns=columns,
+            parameters=dict(form.parameters),
+            original_length=form.original_length,
+            original_dtype=form.original_dtype,
+        )
+
+    def decompress(self, form: CompressedForm) -> Column:
+        """Reconstruct the constituents, then decompress with the outer scheme."""
+        self._check_form(form)
+        return self.outer.decompress(self._outer_form(form))
+
+    def decompress_fused(self, form: CompressedForm) -> Column:
+        self._check_form(form)
+        return self.outer.decompress_fused(self._outer_form(form))
+
+    def decompression_plan(self, form: CompressedForm) -> Plan:
+        """One flat plan: inner decompressions spliced in front of the outer plan.
+
+        The inner plans' inputs are namespaced ``"<constituent>.<input>"`` so
+        two inner schemes with identically-named constituents cannot collide.
+        """
+        outer_form = self._outer_form(form)
+        plan = self.outer.decompression_plan(outer_form)
+        for constituent, scheme in self.inner.items():
+            nested_form = form.nested[constituent]
+            inner_plan = scheme.decompression_plan(nested_form)
+            inner_plan = inner_plan.rename_bindings(
+                {name: f"{constituent}.{name}" for name in inner_plan.bindings_defined()}
+            )
+            plan = plan.compose_after(inner_plan, constituent,
+                                      description=f"{self.describe()} decompression")
+        return plan
+
+    def plan_inputs(self, form: CompressedForm) -> Dict[str, Column]:
+        inputs: Dict[str, Column] = dict(form.columns)
+        for constituent, scheme in self.inner.items():
+            nested_form = form.nested[constituent]
+            for input_name, column in scheme.plan_inputs(nested_form).items():
+                inputs[f"{constituent}.{input_name}"] = column
+        return inputs
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors for the paper's named compositions
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def rle_then_delta_on_values() -> "Cascade":
+        """The §I example: RLE on the column, DELTA on the run values."""
+        from .delta import Delta
+        from .rle import RunLengthEncoding
+
+        return Cascade(RunLengthEncoding(), {"values": Delta()})
+
+    @staticmethod
+    def rpe_with_delta_positions() -> "Cascade":
+        """The §II-A identity's right-hand side: (ID values, DELTA positions) ∘ RPE."""
+        from .delta import Delta
+        from .rpe import RunPositionEncoding
+
+        return Cascade(RunPositionEncoding(narrow_positions=False),
+                       {"values": Identity(), "run_positions": Delta()})

@@ -1,0 +1,211 @@
+"""FOR: frame-of-reference encoding, with decompression as Algorithm 2.
+
+FOR exploits *limited local variation despite potentially large global
+variation*: the column is cut into fixed-length segments, each segment gets
+a reference value, and only the (narrow) offsets from that reference are
+stored per element.  In the paper's pure-columns view the compressed form is
+the scalar segment length ``ℓ``, a ``refs`` column of length ``ceil(n/ℓ)``,
+and an ``offsets`` column of length ``n``.
+
+Decompression, expressed in columnar operators, is Algorithm 2:
+
+1. ``ones         ← Constant(1, |offsets|)``
+2. ``id           ← PrefixSum(ones)``           (position of every element)
+3. ``ells         ← Constant(ℓ, |offsets|)``
+4. ``ref_indices  ← Elementwise(÷, id, ells)``
+5. ``replicated   ← Gather(refs, ref_indices)``
+6. ``return Elementwise(+, replicated, offsets)``
+
+As printed in the paper, step 2 produces a *1-based* position, which would
+misassign the last element of every segment; the intended 0-based position
+column is obtained here with ``Iota`` (equivalently, an exclusive prefix sum
+of the ones column).  The deviation is recorded in EXPERIMENTS.md.
+
+Keeping only steps 1–5 — dropping the final addition — leaves the *step
+function* evaluation the paper builds its §II-B decomposition on; that
+truncation is performed mechanically in :mod:`repro.schemes.decomposition`
+and exercised by experiment E5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..columnar.column import Column
+from ..columnar.plan import LengthOf, Plan, PlanBuilder
+from ..errors import CompressionError, SchemeParameterError
+from ..model.fitting import fit_step_function, segment_index
+from . import _residuals
+from .base import CompressedForm, CompressionScheme
+
+
+def build_for_decompression_plan(segment_length: int,
+                                 offsets_params: Optional[Dict[str, Any]] = None,
+                                 faithful_to_paper: bool = True) -> Plan:
+    """Algorithm 2 as a plan, optionally preceded by residual decoding.
+
+    With ``faithful_to_paper=True`` the position column is produced by the
+    paper's ``Constant``/``PrefixSum`` pair (corrected to 0-based by an
+    exclusive scan); otherwise a single ``Iota`` is used.  Both variants are
+    kept so the structural-equivalence tests can show they evaluate
+    identically while the cost model sees their different operator counts.
+    """
+    builder = PlanBuilder(["refs", "offsets"],
+                          description=f"FOR decompression (Algorithm 2, l={segment_length})")
+    if offsets_params is not None:
+        offsets_binding = _residuals.add_decode_steps(builder, offsets_params,
+                                                      input_name="offsets")
+    else:
+        offsets_binding = "offsets"
+
+    if faithful_to_paper:
+        builder.step("ones", "Ones", length=LengthOf(offsets_binding))
+        builder.step("id", "ExclusivePrefixSum", col="ones")
+        builder.step("ells", "Constant", value=segment_length, length=LengthOf(offsets_binding))
+        builder.step("ref_indices", "Elementwise", op="//", left="id", right="ells")
+    else:
+        builder.step("id", "Iota", length=LengthOf(offsets_binding))
+        builder.step("ref_indices", "Elementwise", op="//", left="id", right=segment_length)
+
+    builder.step("replicated", "Gather", values="refs", indices="ref_indices")
+    builder.step("decompressed", "Elementwise", op="+", left="replicated",
+                 right=offsets_binding)
+    return builder.build("decompressed")
+
+
+class FrameOfReference(CompressionScheme):
+    """Segmented frame-of-reference encoding.
+
+    Parameters
+    ----------
+    segment_length:
+        Number of elements per segment (the paper's ``ℓ``).
+    reference:
+        Per-segment reference policy: ``"min"`` (offsets are non-negative,
+        the classic choice), ``"mid"`` (offsets signed, half the magnitude),
+        or ``"first"`` (reference is the segment's first element; note the
+        paper's remark that the reference *need not* be the first element).
+    offsets_layout:
+        ``"packed"`` (bit-packed at exact width — the explicit "+ NS" of the
+        paper's identity) or ``"aligned"`` (narrowest power-of-two dtype).
+    faithful_plan:
+        Build the decompression plan with the paper's Constant/PrefixSum
+        position computation rather than a single Iota.
+    """
+
+    name = "FOR"
+
+    def __init__(self, segment_length: int = 128, reference: str = "min",
+                 offsets_layout: str = "packed", faithful_plan: bool = True):
+        if segment_length <= 0:
+            raise SchemeParameterError(
+                f"FOR segment_length must be positive, got {segment_length}"
+            )
+        if reference not in ("min", "mid", "first"):
+            raise SchemeParameterError(
+                f"FOR reference must be 'min', 'mid' or 'first', got {reference!r}"
+            )
+        self.segment_length = segment_length
+        self.reference = reference
+        self.offsets_layout = offsets_layout
+        self.faithful_plan = faithful_plan
+
+    def parameters(self) -> Dict[str, Any]:
+        return {
+            "segment_length": self.segment_length,
+            "reference": self.reference,
+            "offsets_layout": self.offsets_layout,
+        }
+
+    def expected_constituents(self) -> Tuple[str, ...]:
+        return ("refs", "offsets")
+
+    # ------------------------------------------------------------------ #
+
+    def compress(self, column: Column) -> CompressedForm:
+        """Fit per-segment references and store narrow offsets."""
+        self.validate(column)
+        if len(column) == 0:
+            return self._empty_form(column, segment_length=self.segment_length)
+
+        model = fit_step_function(column, self.segment_length, policy=self.reference)
+        refs = np.rint(model.coefficients[:, 0]).astype(np.int64)
+        seg = segment_index(len(column), self.segment_length)
+        offsets = column.values.astype(np.int64) - refs[seg]
+        if self.reference == "min" and offsets.min(initial=0) < 0:
+            raise CompressionError("internal error: min-referenced FOR produced negative offsets")
+
+        offsets_column, offsets_params = _residuals.encode_residuals(
+            offsets, layout=self.offsets_layout, name="offsets"
+        )
+        parameters: Dict[str, Any] = {
+            "segment_length": self.segment_length,
+            "reference": self.reference,
+            "num_segments": len(refs),
+        }
+        parameters.update(offsets_params)
+        return CompressedForm(
+            scheme=self.name,
+            columns={"refs": Column(refs, name="refs"), "offsets": offsets_column},
+            parameters=parameters,
+            original_length=len(column),
+            original_dtype=column.dtype,
+        )
+
+    def decompression_plan(self, form: CompressedForm) -> Plan:
+        """Algorithm 2, preceded by offset decoding when offsets are packed."""
+        offsets_params = {
+            "offsets_layout": form.parameter("offsets_layout", "aligned"),
+            "offsets_width": form.parameter("offsets_width", 64),
+            "offsets_count": form.parameter("offsets_count", form.original_length),
+            "offsets_zigzag": form.parameter("offsets_zigzag", False),
+        }
+        needs_decode = (offsets_params["offsets_layout"] == "packed"
+                        or offsets_params["offsets_zigzag"])
+        return build_for_decompression_plan(
+            form.parameter("segment_length", self.segment_length),
+            offsets_params if needs_decode else None,
+            faithful_to_paper=self.faithful_plan,
+        )
+
+    def decompress_fused(self, form: CompressedForm) -> Column:
+        """Direct kernel: decode offsets, replicate refs with ``np.repeat``-style indexing."""
+        self._check_form(form)
+        if form.original_length == 0:
+            return Column.empty(form.original_dtype)
+        refs = form.constituent("refs").values
+        offsets = _residuals.decode_residuals(form.constituent("offsets"), form.parameters)
+        segment_length = form.parameter("segment_length", self.segment_length)
+        seg = segment_index(form.original_length, segment_length)
+        return self._restore(Column(refs[seg] + offsets), form)
+
+    def decompress(self, form: CompressedForm) -> Column:
+        self._check_form(form)
+        if form.original_length == 0:
+            return Column.empty(form.original_dtype)
+        return super().decompress(form)
+
+    # ------------------------------------------------------------------ #
+    # Model-view helpers (used by pushdown and the decomposition module)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def segment_bounds(form: CompressedForm) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-segment value bounds implied by the compressed form alone.
+
+        For a min-referenced FOR the reference is a lower bound and
+        ``ref + 2**width - 1`` an upper bound; a range selection can accept
+        or reject whole segments from these bounds without touching the
+        offsets — the paper's "speed up selections" argument (experiment E9).
+        """
+        refs = form.constituent("refs").values.astype(np.int64)
+        width = int(form.parameter("offsets_width", 64))
+        zigzag = bool(form.parameter("offsets_zigzag", False))
+        span = (1 << width) - 1
+        if zigzag:
+            # Signed offsets: magnitude bounded by span // 2 on either side.
+            half = (span + 1) // 2
+            return refs - half, refs + half
+        return refs, refs + span

@@ -1,0 +1,188 @@
+"""Enriched-model schemes: piecewise-linear and piecewise-polynomial FOR.
+
+Section II-B of the paper, having read FOR as "step-function model plus NS
+residuals", immediately proposes enriching the model: *"keep an offset from
+a diagonal line at some slope rather than the offset from a horizontal
+'step'; more generally, we would replace step functions with stepwise
+low-degree polynomials, or splines"* — noting that compression then requires
+curve fitting "rather than taking the minimum or the middle of the range of
+values".
+
+These schemes are that proposal, made lossless the same way FOR is: store
+the fitted per-segment coefficients plus the exact integer residuals.  The
+decompression plans evaluate the model with ordinary columnar operators
+(gathers of the coefficient columns, element-wise multiply/add in Horner
+order, a final rounding) and then add the residuals — richer models, same
+operator algebra, exactly the paper's "generalizing a compression scheme
+means generalizing one of its subschemes".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..columnar.column import Column
+from ..columnar.plan import LengthOf, Plan, PlanBuilder
+from ..errors import SchemeParameterError
+from ..model.fitting import (
+    fit_piecewise_polynomial,
+    position_in_segment,
+    segment_index,
+)
+from . import _residuals
+from .base import CompressedForm, CompressionScheme
+
+
+class PiecewisePolynomial(CompressionScheme):
+    """Lossless piecewise-polynomial model + residual scheme.
+
+    Parameters
+    ----------
+    segment_length:
+        Elements per segment.
+    degree:
+        Polynomial degree of the per-segment model (1 = the paper's
+        "diagonal line at some slope").
+    offsets_layout:
+        Residual layout, ``"packed"`` or ``"aligned"`` (see FOR).
+    """
+
+    name = "POLY"
+
+    def __init__(self, segment_length: int = 128, degree: int = 1,
+                 offsets_layout: str = "packed"):
+        if segment_length <= 0:
+            raise SchemeParameterError(
+                f"POLY segment_length must be positive, got {segment_length}"
+            )
+        if degree < 1:
+            raise SchemeParameterError(
+                f"POLY degree must be at least 1 (use FOR/STEPFUNCTION for degree 0), "
+                f"got {degree}"
+            )
+        self.segment_length = segment_length
+        self.degree = degree
+        self.offsets_layout = offsets_layout
+
+    def parameters(self) -> Dict[str, Any]:
+        return {
+            "segment_length": self.segment_length,
+            "degree": self.degree,
+            "offsets_layout": self.offsets_layout,
+        }
+
+    def expected_constituents(self) -> Tuple[str, ...]:
+        return tuple(f"coeff_{k}" for k in range(self.degree + 1)) + ("offsets",)
+
+    # ------------------------------------------------------------------ #
+
+    def compress(self, column: Column) -> CompressedForm:
+        """Fit per-segment polynomials and store coefficients plus residuals."""
+        self.validate(column)
+        if len(column) == 0:
+            return self._empty_form(column, segment_length=self.segment_length,
+                                    degree=self.degree)
+        model = fit_piecewise_polynomial(column, self.segment_length, self.degree)
+        prediction = model.predict(round_to_int=True)
+        residuals = column.values.astype(np.int64) - prediction
+
+        offsets_column, offsets_params = _residuals.encode_residuals(
+            residuals, layout=self.offsets_layout, name="offsets"
+        )
+        columns: Dict[str, Column] = {"offsets": offsets_column}
+        for k in range(model.degree + 1):
+            columns[f"coeff_{k}"] = Column(model.coefficients[:, k].copy(), name=f"coeff_{k}")
+
+        parameters: Dict[str, Any] = {
+            "segment_length": self.segment_length,
+            "degree": model.degree,
+            "num_segments": model.num_segments,
+        }
+        parameters.update(offsets_params)
+        return CompressedForm(
+            scheme=self.name,
+            columns=columns,
+            parameters=parameters,
+            original_length=len(column),
+            original_dtype=column.dtype,
+        )
+
+    def decompression_plan(self, form: CompressedForm) -> Plan:
+        """Horner-evaluate the model columnar-ly, round, add residuals."""
+        degree = form.parameter("degree", self.degree)
+        segment_length = form.parameter("segment_length", self.segment_length)
+        coefficient_inputs = [f"coeff_{k}" for k in range(degree + 1)]
+        offsets_params = {
+            "offsets_layout": form.parameter("offsets_layout", self.offsets_layout),
+            "offsets_width": form.parameter("offsets_width", 64),
+            "offsets_count": form.parameter("offsets_count", form.original_length),
+            "offsets_zigzag": form.parameter("offsets_zigzag", False),
+        }
+        builder = PlanBuilder(
+            coefficient_inputs + ["offsets"],
+            description=f"POLY decompression (degree {degree}, l={segment_length})",
+        )
+        needs_decode = (offsets_params["offsets_layout"] == "packed"
+                        or offsets_params["offsets_zigzag"])
+        offsets_binding = (_residuals.add_decode_steps(builder, offsets_params, "offsets")
+                           if needs_decode else "offsets")
+
+        builder.step("id", "Iota", length=LengthOf(offsets_binding))
+        builder.step("segment_ids", "Elementwise", op="//", left="id", right=segment_length)
+        builder.step("in_segment", "Elementwise", op="%", left="id", right=segment_length)
+
+        # Horner: prediction = (((c_d) * x + c_{d-1}) * x + ...) + c_0
+        builder.step("prediction_0", "Gather", values=f"coeff_{degree}",
+                     indices="segment_ids")
+        current = "prediction_0"
+        for step_index, k in enumerate(range(degree - 1, -1, -1), start=1):
+            builder.step(f"scaled_{step_index}", "Elementwise", op="*",
+                         left=current, right="in_segment")
+            builder.step(f"coeff_gathered_{step_index}", "Gather",
+                         values=f"coeff_{k}", indices="segment_ids")
+            builder.step(f"prediction_{step_index}", "Elementwise", op="+",
+                         left=f"scaled_{step_index}", right=f"coeff_gathered_{step_index}")
+            current = f"prediction_{step_index}"
+
+        builder.step("prediction_rounded", "ElementwiseUnary", op="round", operand=current)
+        builder.step("decompressed", "Elementwise", op="+",
+                     left="prediction_rounded", right=offsets_binding)
+        return builder.build("decompressed")
+
+    def decompress_fused(self, form: CompressedForm) -> Column:
+        """Direct kernel: vectorised Horner evaluation plus residuals."""
+        self._check_form(form)
+        if form.original_length == 0:
+            return Column.empty(form.original_dtype)
+        degree = form.parameter("degree", self.degree)
+        segment_length = form.parameter("segment_length", self.segment_length)
+        n = form.original_length
+        seg = segment_index(n, segment_length)
+        pos = position_in_segment(n, segment_length).astype(np.float64)
+        prediction = np.zeros(n, dtype=np.float64)
+        for k in range(degree, -1, -1):
+            prediction = prediction * pos + form.constituent(f"coeff_{k}").values[seg]
+        offsets = _residuals.decode_residuals(form.constituent("offsets"), form.parameters)
+        restored = np.rint(prediction).astype(np.int64) + offsets
+        return self._restore(Column(restored), form)
+
+    def decompress(self, form: CompressedForm) -> Column:
+        self._check_form(form)
+        if form.original_length == 0:
+            return Column.empty(form.original_dtype)
+        return super().decompress(form)
+
+
+class PiecewiseLinear(PiecewisePolynomial):
+    """Degree-1 specialisation: "an offset from a diagonal line at some slope"."""
+
+    name = "LINEAR"
+
+    def __init__(self, segment_length: int = 128, offsets_layout: str = "packed"):
+        super().__init__(segment_length=segment_length, degree=1,
+                         offsets_layout=offsets_layout)
+
+    def parameters(self) -> Dict[str, Any]:
+        return {"segment_length": self.segment_length, "offsets_layout": self.offsets_layout}

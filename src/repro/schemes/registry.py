@@ -1,0 +1,78 @@
+"""Scheme registry: construct schemes by name.
+
+The storage layer and the compression advisor refer to schemes by name (and
+keyword parameters), so that per-column encoding decisions are plain data —
+a name plus a parameter dict — rather than live Python objects.  This module
+maps those names back to scheme factories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..errors import SchemeParameterError
+from .base import CompressionScheme
+from .composite import Cascade
+from .delta import Delta
+from .dict_ import DictionaryEncoding
+from .for_ import FrameOfReference
+from .identity import Identity
+from .model_based import PiecewiseLinear, PiecewisePolynomial
+from .ns import NullSuppression
+from .patched import PatchedFrameOfReference
+from .rle import RunLengthEncoding
+from .rpe import RunPositionEncoding
+from .stepfunction import StepFunctionModel
+from .varwidth import VariableWidth
+
+#: Factories for every registered stand-alone scheme.
+SCHEME_FACTORIES: Dict[str, Callable[..., CompressionScheme]] = {
+    Identity.name: Identity,
+    NullSuppression.name: NullSuppression,
+    Delta.name: Delta,
+    RunLengthEncoding.name: RunLengthEncoding,
+    RunPositionEncoding.name: RunPositionEncoding,
+    FrameOfReference.name: FrameOfReference,
+    StepFunctionModel.name: StepFunctionModel,
+    DictionaryEncoding.name: DictionaryEncoding,
+    PatchedFrameOfReference.name: PatchedFrameOfReference,
+    VariableWidth.name: VariableWidth,
+    PiecewiseLinear.name: PiecewiseLinear,
+    PiecewisePolynomial.name: PiecewisePolynomial,
+}
+
+
+def available_schemes() -> List[str]:
+    """Names of all registered stand-alone schemes, sorted."""
+    return sorted(SCHEME_FACTORIES)
+
+
+def make_scheme(name: str, **parameters: Any) -> CompressionScheme:
+    """Instantiate the scheme registered under *name* with *parameters*.
+
+    >>> make_scheme("FOR", segment_length=64).describe()
+    "FOR(segment_length=64, reference='min', offsets_layout='packed')"
+    """
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise SchemeParameterError(
+            f"unknown compression scheme {name!r}; available: {available_schemes()}"
+        ) from None
+    return factory(**parameters)
+
+
+def make_cascade(outer: str, inner: Dict[str, str],
+                 outer_parameters: Dict[str, Any] = None,
+                 inner_parameters: Dict[str, Dict[str, Any]] = None) -> Cascade:
+    """Instantiate a :class:`Cascade` from scheme names.
+
+    >>> make_cascade("RLE", {"values": "DELTA"}).name
+    'RLE∘[values=DELTA]'
+    """
+    outer_scheme = make_scheme(outer, **(outer_parameters or {}))
+    inner_schemes = {
+        constituent: make_scheme(name, **((inner_parameters or {}).get(constituent, {})))
+        for constituent, name in inner.items()
+    }
+    return Cascade(outer_scheme, inner_schemes)

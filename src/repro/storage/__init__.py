@@ -1,0 +1,35 @@
+"""Columnar storage substrate: chunks, stored columns, tables, statistics.
+
+This package carries the "implementation-specific adornments" the paper's
+pure-columns view deliberately strips from compressed forms: fixed-size
+chunking, per-chunk statistics (zone maps), per-chunk encoding choices, and
+the table abstraction the examples and query engine work against.
+"""
+
+from .chunk import ColumnChunk
+from .column_store import DEFAULT_CHUNK_SIZE, StoredColumn
+from .serialization import (
+    read_form,
+    read_stored_column,
+    read_table,
+    write_form,
+    write_stored_column,
+    write_table,
+)
+from .statistics import ColumnStatistics, compute_statistics
+from .table import Table
+
+__all__ = [
+    "ColumnChunk",
+    "StoredColumn",
+    "Table",
+    "ColumnStatistics",
+    "compute_statistics",
+    "DEFAULT_CHUNK_SIZE",
+    "write_form",
+    "read_form",
+    "write_stored_column",
+    "read_stored_column",
+    "write_table",
+    "read_table",
+]

@@ -1,0 +1,80 @@
+"""Column chunks: the storage-layer wrapper around compressed forms.
+
+The paper deliberately strips compressed forms down to "pure" columns; the
+storage adornments it strips away — fixed-length blocks, per-block headers
+and statistics, padding — have to live *somewhere*, and in this library they
+live here.  A :class:`ColumnChunk` is one fixed-size horizontal slice of a
+column: its compressed form (or plain values), the scheme that produced it,
+its statistics, and its position in the column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..columnar.column import Column
+from ..errors import StorageError
+from ..schemes.base import CompressedForm, CompressionScheme
+from ..schemes.identity import Identity
+from .statistics import ColumnStatistics, compute_statistics
+
+
+@dataclass
+class ColumnChunk:
+    """One horizontal slice of a stored column.
+
+    Attributes
+    ----------
+    form:
+        The compressed form of the chunk's values.
+    scheme:
+        The scheme object able to decompress ``form``.
+    statistics:
+        Statistics of the *uncompressed* values (computed at write time).
+    row_offset:
+        Index of the chunk's first row within the column.
+    """
+
+    form: CompressedForm
+    scheme: CompressionScheme
+    statistics: ColumnStatistics
+    row_offset: int = 0
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows stored in this chunk."""
+        return self.form.original_length
+
+    @property
+    def encoding(self) -> str:
+        """Name of the compression scheme used for this chunk."""
+        return self.form.scheme
+
+    def compressed_size_bytes(self) -> int:
+        """Physical bytes used by the chunk's compressed form."""
+        return self.form.compressed_size_bytes()
+
+    def uncompressed_size_bytes(self) -> int:
+        """Bytes the chunk's values would occupy uncompressed."""
+        return self.form.uncompressed_size_bytes()
+
+    def decompress(self) -> Column:
+        """Materialise the chunk's values."""
+        return self.scheme.decompress(self.form)
+
+    def row_range(self) -> range:
+        """Global row indices covered by this chunk."""
+        return range(self.row_offset, self.row_offset + self.row_count)
+
+    @staticmethod
+    def from_column(values: Column, scheme: Optional[CompressionScheme] = None,
+                    row_offset: int = 0) -> "ColumnChunk":
+        """Compress *values* with *scheme* (default: no compression) into a chunk."""
+        if len(values) == 0:
+            raise StorageError("cannot create a chunk from an empty column")
+        scheme = scheme if scheme is not None else Identity()
+        statistics = compute_statistics(values)
+        form = scheme.compress(values)
+        return ColumnChunk(form=form, scheme=scheme, statistics=statistics,
+                           row_offset=row_offset)

@@ -1,0 +1,120 @@
+"""Per-column / per-chunk statistics.
+
+The storage layer keeps, for every column chunk, the light statistics an
+analytic DBMS would keep anyway (min/max "zone maps", counts, run counts,
+distinct estimates).  They serve two masters:
+
+* the **compression advisor** (:mod:`repro.planner`) uses them to estimate
+  how well each scheme would do before trying it;
+* the **query engine** (:mod:`repro.engine`) uses min/max bounds to skip
+  chunks that cannot satisfy a predicate — the simplest instance of the
+  paper's "use the coarse model to speed up selections".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..columnar import dtypes as _dt
+from ..columnar.column import Column
+from ..columnar.ops import runs as _runs
+from ..errors import StorageError
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics of one column (or column chunk).
+
+    Attributes
+    ----------
+    count:
+        Number of values.
+    minimum / maximum:
+        Value bounds (``None`` for an empty column).
+    distinct_count:
+        Exact number of distinct values.
+    run_count:
+        Number of maximal runs of equal values.
+    is_sorted:
+        Whether the values are non-decreasing.
+    value_bits:
+        Bits needed to store any value as-is (sign-aware).
+    range_bits:
+        Bits needed to store ``value - minimum`` (the width a global FOR
+        reference would give).
+    max_delta_bits:
+        Bits needed for the largest adjacent difference (zig-zag), an
+        indicator of how well DELTA+NS would do.
+    """
+
+    count: int
+    minimum: Optional[int]
+    maximum: Optional[int]
+    distinct_count: int
+    run_count: int
+    is_sorted: bool
+    value_bits: int
+    range_bits: int
+    max_delta_bits: int
+
+    @property
+    def average_run_length(self) -> float:
+        """Mean number of elements per run (``count / run_count``)."""
+        return self.count / self.run_count if self.run_count else 0.0
+
+    @property
+    def distinct_fraction(self) -> float:
+        """Distinct values as a fraction of the count (1.0 = all unique)."""
+        return self.distinct_count / self.count if self.count else 0.0
+
+    def overlaps_range(self, lo, hi) -> bool:
+        """Whether any value in [lo, hi] *could* be present (zone-map test)."""
+        if self.count == 0 or self.minimum is None or self.maximum is None:
+            return False
+        return not (hi < self.minimum or lo > self.maximum)
+
+    def contained_in_range(self, lo, hi) -> bool:
+        """Whether *every* value is certainly within [lo, hi]."""
+        if self.count == 0 or self.minimum is None or self.maximum is None:
+            return False
+        return lo <= self.minimum and self.maximum <= hi
+
+
+def compute_statistics(column: Column) -> ColumnStatistics:
+    """Compute :class:`ColumnStatistics` for *column* in a handful of vector passes."""
+    if not isinstance(column, Column):
+        raise StorageError("compute_statistics() expects a Column")
+    n = len(column)
+    if n == 0:
+        return ColumnStatistics(
+            count=0, minimum=None, maximum=None, distinct_count=0, run_count=0,
+            is_sorted=True, value_bits=1, range_bits=1, max_delta_bits=1,
+        )
+    values = column.values
+    minimum = int(values.min())
+    maximum = int(values.max())
+    distinct = int(np.unique(values).size)
+    run_count = _runs.count_runs(column)
+    is_sorted = bool(np.all(values[1:] >= values[:-1])) if n > 1 else True
+    value_bits = column.logical_bits_per_value()
+    range_bits = _dt.bits_for_range(minimum, maximum)
+    if n > 1:
+        deltas = np.diff(values.astype(np.int64))
+        max_delta = int(np.abs(deltas).max())
+        max_delta_bits = max(1, max_delta.bit_length() + 1)
+    else:
+        max_delta_bits = 1
+    return ColumnStatistics(
+        count=n,
+        minimum=minimum,
+        maximum=maximum,
+        distinct_count=distinct,
+        run_count=run_count,
+        is_sorted=is_sorted,
+        value_bits=value_bits,
+        range_bits=range_bits,
+        max_delta_bits=max_delta_bits,
+    )

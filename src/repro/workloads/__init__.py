@@ -1,0 +1,30 @@
+"""Synthetic workload generators used by examples, tests and benchmarks."""
+
+from .generators import (
+    DATE_EPOCH_OFFSET,
+    mixed_magnitude_residuals,
+    monotone_identifiers,
+    runs_column,
+    shipping_dates,
+    smooth_measure,
+    step_with_outliers,
+    trending_sensor,
+    uniform_random,
+    zipfian_categories,
+)
+from .tpch_like import OrdersWorkload, generate_orders_workload
+
+__all__ = [
+    "DATE_EPOCH_OFFSET",
+    "shipping_dates",
+    "runs_column",
+    "monotone_identifiers",
+    "zipfian_categories",
+    "smooth_measure",
+    "step_with_outliers",
+    "trending_sensor",
+    "mixed_magnitude_residuals",
+    "uniform_random",
+    "OrdersWorkload",
+    "generate_orders_workload",
+]

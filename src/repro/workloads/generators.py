@@ -1,0 +1,194 @@
+"""Synthetic column generators.
+
+The paper names no datasets; its motivating workload is the shipped-orders
+table whose date column "accrues over time, so the dates form a
+monotone-increasing sequence with long runs for the orders shipped every
+day".  These generators produce that column and the other data shapes the
+schemes and experiments need — each generator targets a specific
+compressibility structure, and each documents which experiments use it.
+
+All generators are deterministic given a ``seed`` and return
+:class:`~repro.columnar.column.Column` objects of integer dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..columnar.column import Column
+from ..errors import ReproError
+
+#: Days since 1992-01-01 for a plausible "order date" epoch, mirroring the
+#: date ranges of the classic decision-support benchmarks.
+DATE_EPOCH_OFFSET = 8035  # 1992-01-01 expressed as days since 1970-01-01
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def shipping_dates(num_rows: int, orders_per_day_mean: float = 2000.0,
+                   start_day: int = DATE_EPOCH_OFFSET, seed: int = 0) -> Column:
+    """The paper's §I example: monotone dates with one long run per shipping day.
+
+    Orders accrue over time; all orders shipped on the same day carry the
+    same date, so the column is a non-decreasing sequence of day numbers
+    with run lengths fluctuating around *orders_per_day_mean*.
+
+    Used by experiments E1, E2, E4, E10.
+    """
+    if num_rows <= 0:
+        raise ReproError("num_rows must be positive")
+    rng = _rng(seed)
+    run_lengths = []
+    total = 0
+    while total < num_rows:
+        length = max(1, int(rng.poisson(orders_per_day_mean)))
+        run_lengths.append(length)
+        total += length
+    run_lengths[-1] -= total - num_rows
+    if run_lengths[-1] == 0:
+        run_lengths.pop()
+    days = start_day + np.arange(len(run_lengths), dtype=np.int64)
+    return Column(np.repeat(days, run_lengths), name="ship_date")
+
+
+def runs_column(num_rows: int, average_run_length: float = 50.0,
+                num_distinct_values: int = 1000, sorted_values: bool = False,
+                seed: int = 0) -> Column:
+    """A generic run-structured column with a controllable average run length.
+
+    Used by experiments E2 and E4 (run-length sweeps).
+    """
+    if num_rows <= 0:
+        raise ReproError("num_rows must be positive")
+    rng = _rng(seed)
+    if average_run_length < 1.0:
+        raise ReproError("average_run_length must be at least 1")
+    pieces = []
+    total = 0
+    while total < num_rows:
+        batch = np.maximum(
+            1, rng.geometric(1.0 / average_run_length,
+                             max(16, int(num_rows / average_run_length))))
+        pieces.append(batch)
+        total += int(batch.sum())
+    lengths = np.concatenate(pieces)
+    cumulative = np.cumsum(lengths)
+    cut = int(np.searchsorted(cumulative, num_rows)) + 1
+    lengths = lengths[:cut].astype(np.int64)
+    excess = int(cumulative[cut - 1] - num_rows)
+    if excess > 0:
+        lengths[-1] -= excess
+    values = rng.integers(0, num_distinct_values, len(lengths), dtype=np.int64)
+    if sorted_values:
+        values = np.sort(values)
+    return Column(np.repeat(values, lengths), name="runs")
+
+
+def monotone_identifiers(num_rows: int, start: int = 1_000_000, max_gap: int = 4,
+                         seed: int = 0) -> Column:
+    """Monotone-increasing identifiers with small random gaps (order keys, LSNs).
+
+    Deltas are tiny, so DELTA∘NS and piecewise-linear models shine here.
+    Used by experiments E7 and E8.
+    """
+    rng = _rng(seed)
+    gaps = rng.integers(1, max_gap + 1, num_rows, dtype=np.int64)
+    return Column(start + np.cumsum(gaps), name="order_id")
+
+
+def zipfian_categories(num_rows: int, num_categories: int = 64, exponent: float = 1.3,
+                       seed: int = 0) -> Column:
+    """A categorical column with a Zipf-skewed value distribution (DICT territory).
+
+    Used by experiment E1's baseline comparison and the advisor example.
+    """
+    rng = _rng(seed)
+    ranks = np.arange(1, num_categories + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+    codes = rng.choice(num_categories, size=num_rows, p=weights)
+    # Category labels are deliberately non-contiguous so DICT's mapping matters.
+    labels = np.sort(rng.choice(10_000_000, size=num_categories, replace=False))
+    return Column(labels[codes].astype(np.int64), name="category")
+
+
+def smooth_measure(num_rows: int, base: int = 500_000, amplitude: int = 2_000,
+                   noise: int = 32, seed: int = 0) -> Column:
+    """A locally-smooth measure (slow sinusoidal drift plus small noise).
+
+    Global variation is large (FOR's "potentially larger global variation")
+    while any short segment spans only a narrow range — the FOR sweet spot.
+    Used by experiments E3 and E5.
+    """
+    rng = _rng(seed)
+    positions = np.arange(num_rows, dtype=np.float64)
+    drift = amplitude * np.sin(positions / max(num_rows / 20.0, 1.0))
+    values = base + drift + rng.integers(-noise, noise + 1, num_rows)
+    return Column(np.rint(values).astype(np.int64), name="measure")
+
+
+def step_with_outliers(num_rows: int, segment_length: int = 128, step: int = 1000,
+                       noise: int = 8, outlier_fraction: float = 0.01,
+                       outlier_magnitude: int = 1_000_000, seed: int = 0) -> Column:
+    """Step-function-like data with a controllable fraction of large outliers.
+
+    This is the L0-metric story of §II-B: the data is "really" a step
+    function (plus small noise), except at a few divergent positions.
+    Used by experiment E6 (patched vs plain FOR as the fraction sweeps).
+    """
+    rng = _rng(seed)
+    num_segments = (num_rows + segment_length - 1) // segment_length
+    levels = np.cumsum(rng.integers(0, step, num_segments, dtype=np.int64))
+    seg = np.arange(num_rows, dtype=np.int64) // segment_length
+    values = levels[seg] + rng.integers(0, noise + 1, num_rows)
+    num_outliers = int(outlier_fraction * num_rows)
+    if num_outliers:
+        positions = rng.choice(num_rows, size=num_outliers, replace=False)
+        values[positions] += rng.integers(outlier_magnitude // 2, outlier_magnitude,
+                                          num_outliers)
+    return Column(values.astype(np.int64), name="stepped")
+
+
+def trending_sensor(num_rows: int, slope_per_segment: float = 3.0,
+                    segment_length: int = 128, noise: int = 4, seed: int = 0) -> Column:
+    """Piecewise-trending sensor readings (linear drift within segments).
+
+    A step-function model leaves residuals as wide as ``slope × ℓ``; a
+    piecewise-linear model leaves only the noise — experiment E8's contrast.
+    """
+    rng = _rng(seed)
+    num_segments = (num_rows + segment_length - 1) // segment_length
+    base_levels = np.cumsum(rng.integers(-200, 200, num_segments, dtype=np.int64)) + 100_000
+    slopes = rng.normal(slope_per_segment, slope_per_segment / 2.0, num_segments)
+    seg = np.arange(num_rows, dtype=np.int64) // segment_length
+    pos = np.arange(num_rows, dtype=np.int64) % segment_length
+    values = base_levels[seg] + np.rint(slopes[seg] * pos).astype(np.int64)
+    values += rng.integers(-noise, noise + 1, num_rows)
+    return Column(values.astype(np.int64), name="sensor")
+
+
+def mixed_magnitude_residuals(num_rows: int, small_bits: int = 4, large_bits: int = 20,
+                              large_fraction: float = 0.05, seed: int = 0) -> Column:
+    """Residual-like data where most values are tiny and a few are large.
+
+    The fixed-width residual encoding must pay *large_bits* for every value;
+    a variable-width encoding pays it only for the large minority — the
+    bit-cost metric contrast of experiment E7.
+    """
+    rng = _rng(seed)
+    small = rng.integers(0, 1 << small_bits, num_rows, dtype=np.int64)
+    large_mask = rng.random(num_rows) < large_fraction
+    large = rng.integers(1 << (large_bits - 1), 1 << large_bits, num_rows, dtype=np.int64)
+    values = np.where(large_mask, large, small)
+    signs = rng.choice((-1, 1), num_rows)
+    return Column(values * signs, name="residuals")
+
+
+def uniform_random(num_rows: int, low: int = 0, high: int = 1 << 30, seed: int = 0) -> Column:
+    """Incompressible uniform-random data (the control column every sweep needs)."""
+    rng = _rng(seed)
+    return Column(rng.integers(low, high, num_rows, dtype=np.int64), name="random")

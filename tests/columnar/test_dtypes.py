@@ -1,0 +1,128 @@
+"""Tests for repro.columnar.dtypes (bit-width arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import dtypes as dt
+from repro.errors import ColumnError
+
+
+class TestBitsForUnsigned:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9), (2**32 - 1, 32),
+    ])
+    def test_values(self, value, expected):
+        assert dt.bits_for_unsigned(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ColumnError):
+            dt.bits_for_unsigned(-1)
+
+
+class TestBitsForSigned:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 1), (-1, 1), (1, 2), (-2, 2), (127, 8), (-128, 8), (128, 9), (-129, 9),
+    ])
+    def test_values(self, value, expected):
+        assert dt.bits_for_signed(value) == expected
+
+
+class TestBitsForRange:
+    def test_singleton_range(self):
+        assert dt.bits_for_range(100, 100) == 1
+
+    def test_byte_range(self):
+        assert dt.bits_for_range(0, 255) == 8
+
+    def test_negative_lo(self):
+        assert dt.bits_for_range(-4, 3) == 3
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ColumnError):
+            dt.bits_for_range(5, 4)
+
+
+class TestBitsNeeded:
+    def test_unsigned_array(self):
+        assert dt.bits_needed_unsigned(np.array([1, 5, 200])) == 8
+
+    def test_unsigned_empty(self):
+        assert dt.bits_needed_unsigned(np.array([], dtype=np.int64)) == 1
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ColumnError):
+            dt.bits_needed_unsigned(np.array([-1, 3]))
+
+    def test_signed_array(self):
+        assert dt.bits_needed_signed(np.array([-128, 127])) == 8
+
+    def test_signed_wider_negative(self):
+        assert dt.bits_needed_signed(np.array([-129, 0])) == 9
+
+
+class TestNarrowestDtypes:
+    @pytest.mark.parametrize("bits,expected", [
+        (1, np.uint8), (8, np.uint8), (9, np.uint16), (16, np.uint16),
+        (17, np.uint32), (33, np.uint64), (64, np.uint64),
+    ])
+    def test_unsigned(self, bits, expected):
+        assert dt.narrowest_unsigned_dtype(bits) == np.dtype(expected)
+
+    @pytest.mark.parametrize("bits,expected", [
+        (1, np.int8), (8, np.int8), (9, np.int16), (32, np.int32), (64, np.int64),
+    ])
+    def test_signed(self, bits, expected):
+        assert dt.narrowest_signed_dtype(bits) == np.dtype(expected)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ColumnError):
+            dt.narrowest_unsigned_dtype(0)
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ColumnError):
+            dt.narrowest_unsigned_dtype(65)
+
+    def test_narrowest_dtype_for_nonnegative(self):
+        assert dt.narrowest_dtype_for(np.array([0, 300])) == np.uint16
+
+    def test_narrowest_dtype_for_signed(self):
+        assert dt.narrowest_dtype_for(np.array([-1, 3])) == np.int8
+
+    def test_narrowest_dtype_for_empty(self):
+        assert dt.narrowest_dtype_for(np.array([], dtype=np.int64)) == np.uint8
+
+    def test_narrowest_dtype_for_float_passthrough(self):
+        arr = np.array([1.5, 2.5])
+        assert dt.narrowest_dtype_for(arr) == arr.dtype
+
+
+class TestDtypePredicates:
+    def test_is_integer(self):
+        assert dt.is_integer_dtype(np.int32)
+        assert dt.is_integer_dtype(np.uint8)
+        assert not dt.is_integer_dtype(np.float64)
+
+    def test_is_unsigned(self):
+        assert dt.is_unsigned_dtype(np.uint32)
+        assert not dt.is_unsigned_dtype(np.int32)
+
+    def test_is_float(self):
+        assert dt.is_float_dtype(np.float32)
+        assert not dt.is_float_dtype(np.int64)
+
+    def test_dtype_bits(self):
+        assert dt.dtype_bits(np.int32) == 32
+        assert dt.dtype_bits(np.uint8) == 8
+
+
+class TestPackedSizes:
+    def test_packed_size_bits(self):
+        assert dt.packed_size_bits(10, 3) == 30
+
+    def test_packed_size_bytes_rounds_up(self):
+        assert dt.packed_size_bytes(10, 3) == 4
+        assert dt.packed_size_bytes(8, 8) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ColumnError):
+            dt.packed_size_bits(-1, 3)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.workloads import (
+    monotone_identifiers,
+    runs_column,
+    shipping_dates,
+    smooth_measure,
+    step_with_outliers,
+    trending_sensor,
+    uniform_random,
+    zipfian_categories,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_column():
+    """A small, hand-checkable column with runs."""
+    return Column([7, 7, 7, 9, 9, 5, 5, 5, 5], name="small")
+
+
+@pytest.fixture
+def empty_column():
+    return Column.empty(np.int64, name="empty")
+
+
+@pytest.fixture
+def runs_data():
+    """Run-structured data of moderate size."""
+    return runs_column(5_000, average_run_length=25.0, num_distinct_values=200, seed=7)
+
+
+@pytest.fixture
+def dates_data():
+    """The paper's shipping-dates column (monotone, long runs)."""
+    return shipping_dates(10_000, orders_per_day_mean=150.0, seed=11)
+
+
+@pytest.fixture
+def smooth_data():
+    """Locally-smooth measure data (FOR territory)."""
+    return smooth_measure(6_000, seed=13)
+
+
+@pytest.fixture
+def outlier_data():
+    """Step data with injected outliers (PFOR territory)."""
+    return step_with_outliers(4_096, segment_length=128, outlier_fraction=0.02, seed=17)
+
+
+@pytest.fixture
+def trending_data():
+    """Per-segment trending data (LINEAR territory)."""
+    return trending_sensor(4_096, segment_length=128, seed=19)
+
+
+@pytest.fixture
+def categorical_data():
+    """Zipf-skewed categorical data (DICT territory)."""
+    return zipfian_categories(5_000, num_categories=50, seed=23)
+
+
+@pytest.fixture
+def random_data():
+    """Incompressible uniform-random data."""
+    return uniform_random(4_000, seed=29)
+
+
+@pytest.fixture
+def monotone_data():
+    """Monotone identifiers with small gaps (DELTA territory)."""
+    return monotone_identifiers(5_000, seed=31)

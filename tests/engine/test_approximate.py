@@ -1,0 +1,86 @@
+"""Tests for approximate / gradually-refined aggregation over model forms."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.engine import approximate_mean, approximate_sum, refine_sum
+from repro.errors import QueryError
+from repro.schemes import (
+    Delta,
+    FrameOfReference,
+    PatchedFrameOfReference,
+    StepFunctionModel,
+)
+
+
+class TestApproximateSum:
+    def test_bounds_contain_truth_for(self, smooth_data):
+        form = FrameOfReference(segment_length=128).compress(smooth_data)
+        answer = approximate_sum(form)
+        truth = int(smooth_data.values.sum())
+        assert answer.contains(truth)
+        assert not answer.exact
+        assert answer.uncertainty > 0
+
+    def test_bounds_contain_truth_mid_reference(self, smooth_data):
+        form = FrameOfReference(segment_length=128, reference="mid").compress(smooth_data)
+        answer = approximate_sum(form)
+        assert answer.contains(int(smooth_data.values.sum()))
+
+    def test_bounds_contain_truth_pfor(self, outlier_data):
+        form = PatchedFrameOfReference(segment_length=128).compress(outlier_data)
+        answer = approximate_sum(form)
+        assert answer.contains(int(outlier_data.values.sum()))
+
+    def test_relative_error_bounded_by_offset_width(self, smooth_data):
+        form = FrameOfReference(segment_length=128).compress(smooth_data)
+        answer = approximate_sum(form)
+        truth = int(smooth_data.values.sum())
+        max_per_element = (1 << form.parameter("offsets_width")) - 1
+        assert abs(answer.estimate - truth) <= max_per_element * len(smooth_data) / 2
+
+    def test_stepfunction_model_is_its_own_estimate(self):
+        column = Column(np.repeat([10, 20, 30], 64))
+        form = StepFunctionModel(segment_length=64).compress(column)
+        answer = approximate_sum(form)
+        assert answer.exact
+        assert answer.estimate == float(column.values.sum())
+
+    def test_unsupported_scheme_rejected(self, monotone_data):
+        with pytest.raises(QueryError):
+            approximate_sum(Delta().compress(monotone_data))
+
+    def test_narrower_offsets_give_tighter_bounds(self, smooth_data):
+        wide = FrameOfReference(segment_length=4096).compress(smooth_data)
+        narrow = FrameOfReference(segment_length=32).compress(smooth_data)
+        assert approximate_sum(narrow).uncertainty <= approximate_sum(wide).uncertainty
+
+
+class TestRefinement:
+    def test_refined_sum_is_exact(self, smooth_data):
+        form = FrameOfReference(segment_length=128).compress(smooth_data)
+        refined = refine_sum(form)
+        assert refined.exact
+        assert refined.estimate == float(smooth_data.values.sum())
+
+    def test_refined_sum_exact_for_pfor(self, outlier_data):
+        form = PatchedFrameOfReference(segment_length=128).compress(outlier_data)
+        refined = refine_sum(form)
+        assert refined.estimate == float(outlier_data.values.sum())
+
+    def test_refinement_lands_inside_the_approximate_bounds(self, trending_data):
+        form = FrameOfReference(segment_length=128).compress(trending_data)
+        assert approximate_sum(form).contains(refine_sum(form).estimate)
+
+
+class TestApproximateMean:
+    def test_mean_bounds_contain_truth(self, smooth_data):
+        form = FrameOfReference(segment_length=128).compress(smooth_data)
+        answer = approximate_mean(form)
+        assert answer.contains(float(smooth_data.values.mean()))
+
+    def test_mean_of_empty_rejected(self):
+        form = FrameOfReference(segment_length=16).compress(Column.empty())
+        with pytest.raises(QueryError):
+            approximate_mean(form)

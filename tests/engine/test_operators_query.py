@@ -1,0 +1,251 @@
+"""Tests for the physical operators and the fluent query API."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.engine import (
+    Between,
+    Equals,
+    Query,
+    SelectionVector,
+    aggregate,
+    filter_table,
+    group_by_aggregate,
+    hash_join,
+    join_tables,
+)
+from repro.errors import QueryError
+from repro.planner import choose_scheme
+from repro.schemes import DictionaryEncoding, FrameOfReference, NullSuppression, RunLengthEncoding
+from repro.storage import Table
+from repro.workloads import generate_orders_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_orders_workload(num_orders=3_000, num_days=400, seed=4)
+
+
+@pytest.fixture(scope="module")
+def lineitem_table(workload):
+    return Table.from_columns(
+        workload.lineitem,
+        schemes={
+            "ship_date": RunLengthEncoding(),
+            "quantity": NullSuppression(),
+            "discount": DictionaryEncoding(),
+            "price": FrameOfReference(segment_length=256),
+        },
+        chunk_size=4096,
+    )
+
+
+@pytest.fixture(scope="module")
+def lineitem_plain(workload):
+    return {name: column.values for name, column in workload.lineitem.items()}
+
+
+class TestFilterTable:
+    def test_matches_reference(self, lineitem_table, lineitem_plain, workload):
+        lo = workload.date_range.start + 50
+        hi = workload.date_range.start + 120
+        selection, stats = filter_table(lineitem_table, Between("ship_date", lo, hi))
+        expected = np.flatnonzero((lineitem_plain["ship_date"] >= lo)
+                                  & (lineitem_plain["ship_date"] <= hi))
+        assert np.array_equal(np.sort(selection.positions.values), expected)
+        assert stats.rows_selected == expected.size
+
+    def test_zone_maps_skip_chunks(self, lineitem_table, workload):
+        lo = workload.date_range.start
+        hi = lo + 10  # very selective on a date-clustered column
+        __, stats = filter_table(lineitem_table, Between("ship_date", lo, hi))
+        assert stats.chunks_skipped > 0
+
+    def test_pushdown_and_plain_paths_agree(self, lineitem_table, workload):
+        lo = workload.date_range.start + 30
+        hi = workload.date_range.start + 90
+        predicate = Between("ship_date", lo, hi)
+        with_pushdown, stats_pd = filter_table(lineitem_table, predicate,
+                                               use_pushdown=True)
+        without, stats_plain = filter_table(lineitem_table, predicate,
+                                            use_pushdown=False, use_zone_maps=False)
+        assert np.array_equal(np.sort(with_pushdown.positions.values),
+                              np.sort(without.positions.values))
+        assert stats_plain.chunks_decompressed > 0
+
+    def test_equals_predicate(self, lineitem_table, lineitem_plain):
+        selection, __ = filter_table(lineitem_table, Equals("discount", 5))
+        expected = int((lineitem_plain["discount"] == 5).sum())
+        assert len(selection) == expected
+
+
+class TestAggregates:
+    def test_scalar_aggregates(self):
+        col = Column([1, 2, 3, 4])
+        assert aggregate(col, "sum") == 10
+        assert aggregate(col, "count") == 4
+        assert aggregate(col, "min") == 1
+        assert aggregate(col, "max") == 4
+        assert aggregate(col, "mean") == pytest.approx(2.5)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            aggregate(Column([1]), "median")
+
+    def test_empty_aggregate(self):
+        assert aggregate(Column.empty(), "count") == 0
+        with pytest.raises(QueryError):
+            aggregate(Column.empty(), "sum")
+
+    def test_group_by_sum(self):
+        keys = Column([1, 2, 1, 2, 3])
+        values = Column([10, 20, 30, 40, 50])
+        out = group_by_aggregate(keys, values, how="sum")
+        assert out["key"].to_pylist() == [1, 2, 3]
+        assert out["aggregate"].to_pylist() == [40, 60, 50]
+
+    def test_group_by_count_min_max_mean(self):
+        keys = Column([1, 1, 2])
+        values = Column([5, 7, 9])
+        assert group_by_aggregate(keys, values, "count")["aggregate"].to_pylist() == [2, 1]
+        assert group_by_aggregate(keys, values, "min")["aggregate"].to_pylist() == [5, 9]
+        assert group_by_aggregate(keys, values, "max")["aggregate"].to_pylist() == [7, 9]
+        assert group_by_aggregate(keys, values, "mean")["aggregate"].to_pylist() == [6, 9]
+
+    def test_group_by_length_mismatch(self):
+        with pytest.raises(QueryError):
+            group_by_aggregate(Column([1]), Column([1, 2]))
+
+
+class TestHashJoin:
+    def test_basic_join(self):
+        left = Column([1, 2, 3, 2])
+        right = Column([2, 4, 1])
+        lpos, rpos = hash_join(left, right)
+        pairs = {(int(left[l]), int(right[r])) for l, r in zip(lpos.values, rpos.values)}
+        assert pairs == {(1, 1), (2, 2)}
+        assert len(lpos) == 3  # 1 match for key 1, two left rows match key 2
+
+    def test_duplicate_build_keys(self):
+        left = Column([7])
+        right = Column([7, 7, 7])
+        lpos, rpos = hash_join(left, right)
+        assert len(lpos) == 3
+        assert set(rpos.to_pylist()) == {0, 1, 2}
+
+    def test_no_matches(self):
+        lpos, rpos = hash_join(Column([1]), Column([2]))
+        assert len(lpos) == 0 and len(rpos) == 0
+
+    def test_matches_numpy_reference(self, rng):
+        left = Column(rng.integers(0, 50, 300))
+        right = Column(rng.integers(0, 50, 200))
+        lpos, rpos = hash_join(left, right)
+        assert np.array_equal(left.values[lpos.values], right.values[rpos.values])
+        expected_total = sum(int((right.values == k).sum()) for k in left.values)
+        assert len(lpos) == expected_total
+
+
+class TestQueryAPI:
+    def test_filter_aggregate(self, lineitem_table, lineitem_plain, workload):
+        lo = workload.date_range.start + 40
+        hi = workload.date_range.start + 160
+        result = (Query(lineitem_table)
+                  .filter(Between("ship_date", lo, hi))
+                  .aggregate("quantity", "sum")
+                  .run())
+        mask = (lineitem_plain["ship_date"] >= lo) & (lineitem_plain["ship_date"] <= hi)
+        assert result.scalars["sum(quantity)"] == int(lineitem_plain["quantity"][mask].sum())
+        assert result.row_count == int(mask.sum())
+
+    def test_count_star(self, lineitem_table):
+        result = Query(lineitem_table).aggregate("*", "count").run()
+        assert result.scalars["count(*)"] == lineitem_table.row_count
+
+    def test_projection(self, lineitem_table, lineitem_plain):
+        result = (Query(lineitem_table)
+                  .filter(Equals("discount", 3))
+                  .project("quantity", "discount")
+                  .run())
+        assert set(result.columns) == {"quantity", "discount"}
+        assert np.all(result.columns["discount"].values == 3)
+
+    def test_multi_column_filters_intersect(self, lineitem_table, lineitem_plain, workload):
+        lo = workload.date_range.start + 40
+        hi = workload.date_range.start + 400
+        result = (Query(lineitem_table)
+                  .filter(Between("ship_date", lo, hi))
+                  .filter(Between("quantity", 10, 20))
+                  .aggregate("*", "count")
+                  .run())
+        mask = ((lineitem_plain["ship_date"] >= lo) & (lineitem_plain["ship_date"] <= hi)
+                & (lineitem_plain["quantity"] >= 10) & (lineitem_plain["quantity"] <= 20))
+        assert result.scalars["count(*)"] == int(mask.sum())
+
+    def test_group_by(self, lineitem_table, lineitem_plain):
+        result = (Query(lineitem_table)
+                  .aggregate("quantity", "sum")
+                  .group_by("discount")
+                  .run())
+        keys = result.columns["discount"].values
+        sums = result.columns["sum(quantity)"].values
+        for key, total in zip(keys, sums):
+            expected = int(lineitem_plain["quantity"][lineitem_plain["discount"] == key].sum())
+            assert total == expected
+
+    def test_group_by_without_aggregate_rejected(self, lineitem_table):
+        with pytest.raises(QueryError):
+            Query(lineitem_table).group_by("discount").run()
+
+    def test_no_filters_returns_all_rows(self, lineitem_table):
+        result = Query(lineitem_table).project("quantity").run()
+        assert result.row_count == lineitem_table.row_count
+
+    def test_unknown_columns_rejected(self, lineitem_table):
+        with pytest.raises(QueryError):
+            Query(lineitem_table).filter(Between("missing", 0, 1))
+        with pytest.raises(QueryError):
+            Query(lineitem_table).project("missing")
+        with pytest.raises(QueryError):
+            Query(lineitem_table).aggregate("missing", "sum")
+        with pytest.raises(QueryError):
+            Query(lineitem_table).group_by("missing")
+
+    def test_without_pushdown_matches(self, lineitem_table, workload):
+        lo = workload.date_range.start + 40
+        hi = workload.date_range.start + 160
+        fast = Query(lineitem_table).filter(Between("ship_date", lo, hi)) \
+            .aggregate("price", "sum").run()
+        slow = Query(lineitem_table).without_pushdown().without_zone_maps() \
+            .filter(Between("ship_date", lo, hi)).aggregate("price", "sum").run()
+        assert fast.scalars == slow.scalars
+
+    def test_result_column_access(self, lineitem_table):
+        result = Query(lineitem_table).project("quantity").run()
+        assert len(result.column("quantity")) == lineitem_table.row_count
+        with pytest.raises(QueryError):
+            result.column("nope")
+
+
+class TestJoin:
+    def test_join_tables(self, workload):
+        orders = Table.from_columns(workload.orders, chunk_size=4096)
+        lineitem = Table.from_columns(workload.lineitem, chunk_size=4096)
+        out = join_tables(lineitem, orders, "order_id", "order_id",
+                          project_left=["quantity"], project_right=["customer_id"])
+        assert len(out["left.quantity"]) == len(out["right.customer_id"])
+        # every lineitem matches exactly one order
+        assert len(out["left.quantity"]) == workload.num_lineitems
+
+
+class TestSelectionVector:
+    def test_from_mask_offsets(self):
+        vec = SelectionVector.from_mask(np.array([True, False, True]), row_offset=10)
+        assert vec.positions.to_pylist() == [10, 12]
+
+    def test_all_rows(self):
+        assert len(SelectionVector.all_rows(5)) == 5
+
+    def test_concatenate_empty(self):
+        assert len(SelectionVector.concatenate([])) == 0

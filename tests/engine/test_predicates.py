@@ -1,0 +1,102 @@
+"""Tests for predicates and their zone-map (chunk statistics) decisions."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.engine import And, Between, Equals, IsIn, Or, RangeBounds
+from repro.errors import QueryError
+from repro.storage import compute_statistics
+
+
+class TestBetween:
+    def test_evaluate(self):
+        mask = Between("x", 2, 4).evaluate(Column([1, 2, 3, 4, 5]))
+        assert mask.to_pylist() == [False, True, True, True, False]
+
+    def test_inclusive_bounds(self):
+        mask = Between("x", 3, 3).evaluate(Column([2, 3, 4]))
+        assert mask.to_pylist() == [False, True, False]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            Between("x", 5, 4)
+
+    def test_chunk_decision_reject(self):
+        stats = compute_statistics(Column([10, 20]))
+        assert Between("x", 30, 40).chunk_decision(stats) is False
+
+    def test_chunk_decision_accept(self):
+        stats = compute_statistics(Column([10, 20]))
+        assert Between("x", 0, 100).chunk_decision(stats) is True
+
+    def test_chunk_decision_inspect(self):
+        stats = compute_statistics(Column([10, 20]))
+        assert Between("x", 15, 100).chunk_decision(stats) is None
+
+    def test_repr(self):
+        assert "Between" in repr(Between("x", 1, 2))
+
+
+class TestEquals:
+    def test_evaluate(self):
+        mask = Equals("x", 3).evaluate(Column([3, 1, 3]))
+        assert mask.to_pylist() == [True, False, True]
+
+    def test_chunk_decision(self):
+        stats = compute_statistics(Column([5, 5, 5]))
+        assert Equals("x", 5).chunk_decision(stats) is True
+        assert Equals("x", 6).chunk_decision(stats) is False
+        mixed = compute_statistics(Column([4, 5, 6]))
+        assert Equals("x", 5).chunk_decision(mixed) is None
+
+
+class TestIsIn:
+    def test_evaluate(self):
+        mask = IsIn("x", [2, 9]).evaluate(Column([1, 2, 3, 9]))
+        assert mask.to_pylist() == [False, True, False, True]
+
+    def test_chunk_decision_reject(self):
+        stats = compute_statistics(Column([100, 200]))
+        assert IsIn("x", [1, 2]).chunk_decision(stats) is False
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(QueryError):
+            IsIn("x", [])
+
+
+class TestCompound:
+    def test_and_evaluate(self):
+        predicate = Between("x", 2, 8) & Equals("x", 5)
+        mask = predicate.evaluate(Column([1, 5, 7]))
+        assert mask.to_pylist() == [False, True, False]
+
+    def test_or_evaluate(self):
+        predicate = Equals("x", 1) | Equals("x", 3)
+        mask = predicate.evaluate(Column([1, 2, 3]))
+        assert mask.to_pylist() == [True, False, True]
+
+    def test_and_chunk_decision(self):
+        stats = compute_statistics(Column([10, 20]))
+        assert (Between("x", 0, 100) & Between("x", 200, 300)).chunk_decision(stats) is False
+        assert (Between("x", 0, 100) & Between("x", 5, 50)).chunk_decision(stats) is True
+        assert (Between("x", 0, 100) & Between("x", 15, 50)).chunk_decision(stats) is None
+
+    def test_or_chunk_decision(self):
+        stats = compute_statistics(Column([10, 20]))
+        assert (Between("x", 0, 5) | Between("x", 0, 100)).chunk_decision(stats) is True
+        assert (Between("x", 0, 5) | Between("x", 50, 60)).chunk_decision(stats) is False
+
+    def test_cross_column_compound_rejected(self):
+        with pytest.raises(QueryError):
+            Between("x", 1, 2) & Between("y", 1, 2)
+
+
+class TestRangeBounds:
+    def test_valid(self):
+        bounds = RangeBounds(1, 5)
+        assert bounds.low == 1 and bounds.high == 5
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            RangeBounds(5, 1)

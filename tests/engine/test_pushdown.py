@@ -1,0 +1,155 @@
+"""Tests for predicate evaluation directly on compressed forms."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.engine import RangeBounds
+from repro.engine.pushdown import (
+    count_in_range_on_runs,
+    range_mask_on_dict,
+    range_mask_on_for,
+    range_mask_on_form,
+    range_mask_on_runs,
+    sum_in_range_on_runs,
+)
+from repro.errors import QueryError
+from repro.schemes import (
+    Delta,
+    DictionaryEncoding,
+    FrameOfReference,
+    PatchedFrameOfReference,
+    RunLengthEncoding,
+    RunPositionEncoding,
+    StepFunctionModel,
+)
+
+
+def reference_mask(column: Column, bounds: RangeBounds) -> np.ndarray:
+    values = column.values
+    return (values >= bounds.low) & (values <= bounds.high)
+
+
+class TestRunDomainPushdown:
+    @pytest.mark.parametrize("scheme", [RunLengthEncoding(), RunPositionEncoding()])
+    def test_mask_matches_reference(self, runs_data, scheme):
+        bounds = RangeBounds(50, 120)
+        form = scheme.compress(runs_data)
+        mask, stats = range_mask_on_runs(form, bounds)
+        assert np.array_equal(mask.values, reference_mask(runs_data, bounds))
+        assert stats.rows_decoded == 0
+        assert stats.runs_total == form.parameter("num_runs")
+
+    def test_count_in_range(self, runs_data):
+        bounds = RangeBounds(0, 99)
+        form = RunLengthEncoding().compress(runs_data)
+        count, __ = count_in_range_on_runs(form, bounds)
+        assert count == int(reference_mask(runs_data, bounds).sum())
+
+    def test_sum_in_range(self, runs_data):
+        bounds = RangeBounds(0, 99)
+        form = RunLengthEncoding().compress(runs_data)
+        total, __ = sum_in_range_on_runs(form, bounds)
+        expected = int(runs_data.values[reference_mask(runs_data, bounds)].sum())
+        assert total == expected
+
+    def test_sum_on_rpe_form(self, runs_data):
+        bounds = RangeBounds(10, 60)
+        form = RunPositionEncoding().compress(runs_data)
+        total, __ = sum_in_range_on_runs(form, bounds)
+        expected = int(runs_data.values[reference_mask(runs_data, bounds)].sum())
+        assert total == expected
+
+    def test_wrong_scheme_rejected(self, runs_data):
+        with pytest.raises(QueryError):
+            range_mask_on_runs(Delta().compress(runs_data), RangeBounds(0, 1))
+
+
+class TestSegmentDomainPushdown:
+    @pytest.mark.parametrize("scheme", [
+        FrameOfReference(segment_length=64),
+        FrameOfReference(segment_length=64, reference="mid"),
+        PatchedFrameOfReference(segment_length=64),
+    ])
+    def test_mask_matches_reference(self, smooth_data, scheme):
+        lo = int(np.percentile(smooth_data.values, 30))
+        hi = int(np.percentile(smooth_data.values, 70))
+        bounds = RangeBounds(lo, hi)
+        form = scheme.compress(smooth_data)
+        mask, stats = range_mask_on_for(form, bounds)
+        assert np.array_equal(mask.values, reference_mask(smooth_data, bounds))
+        assert stats.segments_total == form.parameter("num_segments")
+
+    def test_pfor_patches_respected(self, outlier_data):
+        """Patched rows must be compared against their true (patched) values."""
+        values = outlier_data.values
+        lo, hi = int(values.min()), int(np.percentile(values, 90))
+        bounds = RangeBounds(lo, hi)
+        form = PatchedFrameOfReference(segment_length=128).compress(outlier_data)
+        assert form.parameter("patch_count") > 0
+        mask, __ = range_mask_on_for(form, bounds)
+        assert np.array_equal(mask.values, reference_mask(outlier_data, bounds))
+
+    def test_selective_predicate_skips_segments(self, smooth_data):
+        values = smooth_data.values
+        lo = int(values.min())
+        hi = lo + int((values.max() - values.min()) * 0.05)
+        form = FrameOfReference(segment_length=64).compress(smooth_data)
+        __, stats = range_mask_on_for(form, RangeBounds(lo, hi))
+        assert stats.segments_skipped > 0
+        assert stats.rows_decoded < len(smooth_data)
+
+    def test_whole_domain_predicate_accepts_everything(self, smooth_data):
+        values = smooth_data.values
+        form = FrameOfReference(segment_length=64).compress(smooth_data)
+        span = int(values.max()) - int(values.min())
+        # Widen the range by (more than) the largest possible conservative
+        # segment upper bound (ref + 2**width - 1) so every segment is accepted.
+        mask, stats = range_mask_on_for(
+            form, RangeBounds(int(values.min()) - 2 * span - 1,
+                              int(values.max()) + 2 * span + 1))
+        assert mask.values.all()
+        assert stats.rows_decoded == 0
+        assert stats.segments_accepted == stats.segments_total
+
+    def test_stepfunction_model_conservative(self):
+        col = Column(np.repeat([100, 200, 300], 64))
+        form = StepFunctionModel(segment_length=64).compress(col)
+        mask, stats = range_mask_on_for(form, RangeBounds(150, 250))
+        assert np.array_equal(mask.values, (col.values >= 150) & (col.values <= 250))
+
+    def test_wrong_scheme_rejected(self, smooth_data):
+        with pytest.raises(QueryError):
+            range_mask_on_for(Delta().compress(smooth_data), RangeBounds(0, 1))
+
+
+class TestDictPushdown:
+    def test_mask_matches_reference(self, categorical_data):
+        values = categorical_data.values
+        lo, hi = int(np.percentile(values, 20)), int(np.percentile(values, 80))
+        bounds = RangeBounds(lo, hi)
+        form = DictionaryEncoding().compress(categorical_data)
+        mask, __ = range_mask_on_dict(form, bounds)
+        assert np.array_equal(mask.values, reference_mask(categorical_data, bounds))
+
+    def test_aligned_codes_layout(self, categorical_data):
+        bounds = RangeBounds(0, int(categorical_data.values.max()))
+        form = DictionaryEncoding(codes_layout="aligned").compress(categorical_data)
+        mask, __ = range_mask_on_dict(form, bounds)
+        assert mask.values.all()
+
+    def test_wrong_scheme_rejected(self, categorical_data):
+        with pytest.raises(QueryError):
+            range_mask_on_dict(Delta().compress(categorical_data), RangeBounds(0, 1))
+
+
+class TestDispatch:
+    def test_dispatches_by_scheme(self, runs_data, smooth_data, categorical_data):
+        bounds = RangeBounds(0, 10**9)
+        assert range_mask_on_form(RunLengthEncoding().compress(runs_data), bounds) is not None
+        assert range_mask_on_form(FrameOfReference().compress(smooth_data), bounds) is not None
+        assert range_mask_on_form(DictionaryEncoding().compress(categorical_data),
+                                  bounds) is not None
+
+    def test_unsupported_scheme_returns_none(self, monotone_data):
+        assert range_mask_on_form(Delta().compress(monotone_data), RangeBounds(0, 1)) is None

@@ -1,0 +1,96 @@
+"""Tests for residual profiling and encoding recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.model import (
+    ResidualProfile,
+    fit_step_function,
+    profile_model_fit,
+    profile_residuals,
+    recommend_residual_encoding,
+)
+
+
+class TestProfileResiduals:
+    def test_basic_counts(self):
+        profile = profile_residuals(np.array([0, 1, -3, 0, 7]))
+        assert profile.count == 5
+        assert profile.nonzero == 3
+        assert profile.max_magnitude == 7
+        assert profile.l0_fraction == pytest.approx(0.6)
+
+    def test_fixed_width_includes_sign_bit(self):
+        profile = profile_residuals(np.array([0, 7]))
+        assert profile.fixed_width_bits == 4  # |7| needs 3 bits + sign
+
+    def test_width_histogram(self):
+        profile = profile_residuals(np.array([0, 1, 2, 3, 4]))
+        assert profile.width_histogram[0] == 1   # the zero
+        assert profile.width_histogram[1] == 1   # 1
+        assert profile.width_histogram[2] == 2   # 2, 3
+        assert profile.width_histogram[3] == 1   # 4
+
+    def test_total_bit_cost(self):
+        profile = profile_residuals(np.array([0, 1, 255, -256]))
+        assert profile.total_bit_cost == 1 + 8 + 9
+
+    def test_empty(self):
+        profile = profile_residuals(np.array([], dtype=np.int64))
+        assert profile.count == 0
+        assert profile.l0_fraction == 0.0
+
+    def test_all_zero(self):
+        profile = profile_residuals(np.zeros(10, dtype=np.int64))
+        assert profile.nonzero == 0
+        assert profile.total_bit_cost == 0
+
+    def test_accepts_column(self):
+        assert profile_residuals(Column([1, 2])).count == 2
+
+    def test_profile_model_fit(self, smooth_data):
+        model = fit_step_function(smooth_data, 64, policy="min")
+        profile = profile_model_fit(model, smooth_data)
+        assert profile.count == len(smooth_data)
+
+
+class TestCostFormulas:
+    def test_fixed_width_total(self):
+        profile = profile_residuals(np.array([0, 3, 0, 0]))
+        assert profile.fixed_width_total_bits() == 4 * profile.fixed_width_bits
+
+    def test_patched_total(self):
+        profile = profile_residuals(np.array([0, 3, 0, 0]))
+        assert profile.patched_total_bits(value_bits=64, position_bits=32) == 96
+
+    def test_variable_width_total_includes_bookkeeping(self):
+        profile = profile_residuals(np.array([0, 1, 1, 1]))
+        assert profile.variable_width_total_bits(width_field_bits=3) == 3 + 4 * 3
+
+
+class TestRecommendation:
+    def test_exact_model_needs_nothing(self):
+        profile = profile_residuals(np.zeros(100, dtype=np.int64))
+        assert recommend_residual_encoding(profile) == "none"
+
+    def test_few_outliers_recommend_patches(self):
+        residuals = np.zeros(1000, dtype=np.int64)
+        residuals[::200] = 1 << 40
+        profile = profile_residuals(residuals)
+        assert recommend_residual_encoding(profile) == "patched"
+
+    def test_uniform_small_residuals_recommend_fixed(self):
+        rng = np.random.default_rng(0)
+        profile = profile_residuals(rng.integers(0, 16, 1000))
+        assert recommend_residual_encoding(profile) == "fixed_width"
+
+    def test_skewed_magnitudes_recommend_variable(self):
+        rng = np.random.default_rng(1)
+        residuals = rng.integers(0, 4, 1000)
+        residuals[rng.random(1000) < 0.2] = 1 << 30
+        profile = profile_residuals(residuals)
+        assert recommend_residual_encoding(profile) == "variable_width"
+
+    def test_empty_profile(self):
+        assert recommend_residual_encoding(profile_residuals(np.array([]))) == "none"

@@ -1,0 +1,222 @@
+"""Tests for the cost model, the compression advisor and partial-decompression planning."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.errors import PlanningError
+from repro.planner import (
+    AdvisorReport,
+    advise,
+    choose_scheme,
+    default_candidates,
+    estimate_bits_per_value,
+    measure_bits_per_value,
+    measure_decompression_cost,
+    plan_for_intent,
+)
+from repro.schemes import (
+    Delta,
+    FrameOfReference,
+    Identity,
+    NullSuppression,
+    RunLengthEncoding,
+    RunPositionEncoding,
+    StepFunctionModel,
+    DictionaryEncoding,
+)
+from repro.storage import compute_statistics
+
+
+class TestCostModel:
+    def test_measured_bits_match_form(self, smooth_data):
+        scheme = FrameOfReference(segment_length=128)
+        measured = measure_bits_per_value(scheme, smooth_data)
+        assert measured == pytest.approx(scheme.compress(smooth_data).bits_per_value())
+
+    def test_decompression_cost_positive(self, smooth_data):
+        assert measure_decompression_cost(FrameOfReference(), smooth_data) > 0
+
+    def test_identity_decompression_cost_is_zero(self, smooth_data):
+        assert measure_decompression_cost(Identity(), smooth_data) == 0.0
+
+    def test_rle_cheaper_per_value_on_long_runs(self):
+        long_runs = Column(np.repeat(np.arange(20), 500))
+        rle_cost = measure_decompression_cost(RunLengthEncoding(), long_runs)
+        for_cost = measure_decompression_cost(FrameOfReference(), long_runs)
+        assert rle_cost < for_cost
+
+    def test_estimate_ns(self):
+        stats = compute_statistics(Column([0, 250]))
+        assert estimate_bits_per_value("NS", stats) == 8
+
+    def test_estimate_id(self):
+        stats = compute_statistics(Column([1, 2]))
+        assert estimate_bits_per_value("ID", stats) == 64
+
+    def test_estimate_rle_improves_with_run_length(self):
+        short = compute_statistics(Column(np.repeat(np.arange(100), 2)))
+        long = compute_statistics(Column(np.repeat(np.arange(10), 100)))
+        assert estimate_bits_per_value("RLE", long) < estimate_bits_per_value("RLE", short)
+
+    def test_estimate_dict_infeasible_when_mostly_unique(self):
+        stats = compute_statistics(Column(np.arange(1000)))
+        assert estimate_bits_per_value("DICT", stats) == float("inf")
+
+    def test_estimate_unknown_scheme(self):
+        stats = compute_statistics(Column([1]))
+        with pytest.raises(PlanningError):
+            estimate_bits_per_value("LZW", stats)
+
+    def test_estimates_track_measurements_in_order(self, dates_data):
+        """The statistics-only estimates must rank RLE above NS on run-heavy data."""
+        stats = compute_statistics(dates_data)
+        assert estimate_bits_per_value("RLE", stats) < estimate_bits_per_value("NS", stats)
+
+
+class TestAdvisor:
+    def test_picks_run_scheme_for_dates(self, dates_data):
+        report = advise(dates_data, seed=1)
+        assert report.best.scheme.name.startswith(("RLE", "RPE"))
+
+    def test_composite_wins_on_dates(self, dates_data):
+        """The paper's point: the composite beats every stand-alone scheme here."""
+        report = advise(dates_data, seed=1)
+        assert "∘" in report.best.scheme.name
+
+    def test_picks_narrowing_scheme_for_small_domain(self, categorical_data):
+        report = advise(categorical_data, seed=1)
+        assert report.best.scheme.name in ("NS", "DICT", "FOR", "PFOR")
+
+    def test_random_data_falls_back_to_cheap_scheme(self, random_data):
+        report = advise(random_data, seed=1)
+        # Nothing compresses random 30-bit data much; the winner must not be
+        # an expensive composite and must be close to the data's entropy.
+        assert report.best.bits_per_value <= 40
+
+    def test_report_is_ranked(self, dates_data):
+        report = advise(dates_data, seed=1)
+        scores = [e.score() for e in report.ranked()]
+        assert scores == sorted(scores)
+
+    def test_report_summary_text(self, dates_data):
+        text = advise(dates_data, seed=1).summary()
+        assert "bits/value" in text
+
+    def test_infeasible_candidates_recorded_not_raised(self, random_data):
+        report = advise(random_data, candidates=[DictionaryEncoding(max_dictionary_fraction=0.01)],
+                        seed=1)
+        assert all(not e.feasible for e in report.evaluations)
+        with pytest.raises(PlanningError):
+            _ = report.best
+
+    def test_explicit_candidates(self, smooth_data):
+        report = advise(smooth_data, candidates=[Identity(), NullSuppression()], seed=1)
+        assert {e.scheme.name for e in report.evaluations} == {"ID", "NS"}
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(PlanningError):
+            advise(Column.empty())
+
+    def test_speed_weight_changes_choice(self, dates_data):
+        size_first = advise(dates_data, size_weight=1.0, speed_weight=0.0, seed=1)
+        speed_first = advise(dates_data, size_weight=0.0, speed_weight=1.0, seed=1)
+        assert speed_first.best.decompression_cost_per_value <= \
+            size_first.best.decompression_cost_per_value
+
+    def test_choose_scheme_roundtrips(self, dates_data):
+        scheme = choose_scheme(dates_data, seed=1)
+        assert scheme.decompress(scheme.compress(dates_data)).equals(dates_data)
+
+    def test_sampling_keeps_contiguity(self):
+        column = Column(np.repeat(np.arange(5000), 10))
+        report = advise(column, sample_size=1024, seed=3)
+        assert report.best.bits_per_value < 16
+
+    def test_default_candidates_respond_to_statistics(self, dates_data, random_data):
+        with_runs = default_candidates(compute_statistics(dates_data))
+        without_runs = default_candidates(compute_statistics(random_data))
+        assert any(s.name.startswith("RLE") for s in with_runs)
+        assert not any(s.name.startswith("RLE") for s in without_runs)
+
+
+class TestPartialPlanning:
+    def test_rle_range_aggregate_stays_compressed(self, runs_data):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs_data)
+        decision = plan_for_intent(scheme, form, "range_aggregate")
+        assert decision.strategy == "none"
+
+    def test_rle_point_lookup_partially_decompresses(self, runs_data):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs_data)
+        decision = plan_for_intent(scheme, form, "point_lookup")
+        assert decision.strategy == "partial"
+        assert decision.stop_after == "run_positions"
+        # Executing the partial plan really does produce the RPE positions.
+        result = decision.plan.evaluate_detailed(
+            {"lengths": form.constituent("lengths"), "values": form.constituent("values")},
+            stop_after=decision.stop_after)
+        expected = RunPositionEncoding(narrow_positions=False).compress(runs_data)
+        assert np.array_equal(result.output.values,
+                              expected.constituent("run_positions").values)
+
+    def test_rpe_point_lookup_needs_nothing(self, runs_data):
+        scheme = RunPositionEncoding()
+        form = scheme.compress(runs_data)
+        assert plan_for_intent(scheme, form, "point_lookup").strategy == "none"
+
+    def test_for_approximate_aggregate_truncates(self, smooth_data):
+        scheme = FrameOfReference(segment_length=64)
+        form = scheme.compress(smooth_data)
+        decision = plan_for_intent(scheme, form, "approximate_aggregate")
+        assert decision.strategy == "partial"
+        result = decision.plan.evaluate_detailed(scheme.plan_inputs(form),
+                                                 stop_after=decision.stop_after)
+        # The truncated evaluation is the step-function model: within the
+        # offset width of the true values everywhere.
+        error = np.abs(result.output.values.astype(np.int64)
+                       - smooth_data.values.astype(np.int64)).max()
+        assert error < (1 << form.parameter("offsets_width"))
+
+    def test_for_range_filter_uses_segment_bounds(self, smooth_data):
+        scheme = FrameOfReference(segment_length=64)
+        form = scheme.compress(smooth_data)
+        assert plan_for_intent(scheme, form, "range_filter").strategy == "none"
+
+    def test_stepfunction_approximate(self, smooth_data):
+        scheme = StepFunctionModel(segment_length=64)
+        form = scheme.compress(smooth_data)
+        decision = plan_for_intent(scheme, form, "approximate_aggregate")
+        assert decision.strategy == "partial"
+        assert decision.stop_after is None
+
+    def test_full_scan_always_full(self, runs_data):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs_data)
+        assert plan_for_intent(scheme, form, "full_scan").strategy == "full"
+
+    def test_fallback_for_unsupported_combination(self, monotone_data):
+        scheme = Delta()
+        form = scheme.compress(monotone_data)
+        assert plan_for_intent(scheme, form, "range_filter").strategy == "full"
+
+    def test_dict_range_filter_on_codes(self, categorical_data):
+        scheme = DictionaryEncoding()
+        form = scheme.compress(categorical_data)
+        assert plan_for_intent(scheme, form, "range_filter").strategy == "none"
+
+    def test_unknown_intent_rejected(self, runs_data):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs_data)
+        with pytest.raises(PlanningError):
+            plan_for_intent(scheme, form, "world_domination")
+
+    def test_every_decision_has_a_reason(self, runs_data, smooth_data):
+        from repro.planner import INTENTS
+
+        for scheme, data in ((RunLengthEncoding(), runs_data),
+                             (FrameOfReference(segment_length=64), smooth_data)):
+            form = scheme.compress(data)
+            for intent in INTENTS:
+                assert plan_for_intent(scheme, form, intent).reason

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis): columnar operator algebra invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import Column
+from repro.columnar import ops
+
+SMALL_INTS = st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                      min_size=0, max_size=300)
+NONNEG_INTS = st.lists(st.integers(min_value=0, max_value=10**6),
+                       min_size=0, max_size=300)
+
+
+def as_column(values):
+    return Column(np.array(values, dtype=np.int64))
+
+
+@given(values=SMALL_INTS)
+@settings(max_examples=50, deadline=None)
+def test_adjacent_difference_inverts_prefix_sum(values):
+    col = as_column(values)
+    assert ops.adjacent_difference(ops.prefix_sum(col)).equals(col)
+
+
+@given(values=SMALL_INTS)
+@settings(max_examples=50, deadline=None)
+def test_prefix_sum_inverts_adjacent_difference(values):
+    col = as_column(values)
+    assert ops.prefix_sum(ops.adjacent_difference(col)).equals(col)
+
+
+@given(values=SMALL_INTS)
+@settings(max_examples=50, deadline=None)
+def test_exclusive_scan_shift_relationship(values):
+    col = as_column(values)
+    inclusive = ops.prefix_sum(col).to_pylist()
+    exclusive = ops.exclusive_prefix_sum(col).to_pylist()
+    expected = [0] + inclusive[:-1] if inclusive else []
+    assert exclusive == expected
+
+
+@given(values=SMALL_INTS.filter(lambda v: len(v) > 0))
+@settings(max_examples=50, deadline=None)
+def test_runs_decomposition_reconstructs(values):
+    col = as_column(values)
+    run_values, run_lengths = ops.runs_of(col)
+    assert ops.repeat(run_values, run_lengths).equals(col)
+    assert int(run_lengths.values.sum()) == len(col)
+
+
+@given(values=SMALL_INTS.filter(lambda v: len(v) > 0))
+@settings(max_examples=50, deadline=None)
+def test_run_ids_are_monotone_and_dense(values):
+    col = as_column(values)
+    ids = ops.run_ids(col).values
+    assert ids[0] == 0
+    steps = np.diff(ids)
+    assert ((steps == 0) | (steps == 1)).all()
+    assert ids[-1] == ops.count_runs(col) - 1
+
+
+@given(values=SMALL_INTS, mask_bits=st.data())
+@settings(max_examples=50, deadline=None)
+def test_compact_positions_gather_equivalence(values, mask_bits):
+    """Compact(col, m) == Gather(col, PositionsOf(m)) — two spellings of selection."""
+    col = as_column(values)
+    mask = Column(np.array(
+        mask_bits.draw(st.lists(st.booleans(), min_size=len(col), max_size=len(col))),
+        dtype=bool))
+    compacted = ops.compact(col, mask)
+    gathered = ops.gather(col, ops.positions_of(mask)) if len(col) else compacted
+    assert compacted.equals(gathered)
+
+
+@given(values=NONNEG_INTS, width_extra=st.integers(min_value=0, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_pack_unpack_roundtrip_at_any_sufficient_width(values, width_extra):
+    col = Column(np.array(values, dtype=np.uint64))
+    if len(values) == 0:
+        return
+    needed = max(1, int(col.values.max()).bit_length())
+    width = min(64, needed + width_extra)
+    packed = ops.pack_bits(col, width=width)
+    assert packed.nbytes == (len(col) * width + 7) // 8
+    out = ops.unpack_bits(packed, width=width, count=len(col))
+    assert np.array_equal(out.values, col.values)
+
+
+@given(values=SMALL_INTS)
+@settings(max_examples=50, deadline=None)
+def test_zigzag_roundtrip_and_nonnegativity(values):
+    col = as_column(values)
+    encoded = ops.zigzag_encode(col)
+    if len(col):
+        assert int(encoded.values.min()) >= 0
+    assert ops.zigzag_decode(encoded).equals(col)
+
+
+@given(values=SMALL_INTS.filter(lambda v: len(v) > 0), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_gather_scatter_inverse_on_permutations(values, data):
+    """Scattering values to a permutation then gathering through it is the identity."""
+    col = as_column(values)
+    permutation = np.array(data.draw(st.permutations(range(len(col)))), dtype=np.int64)
+    perm_col = Column(permutation)
+    scattered = ops.scatter(col, perm_col, ops.zeros(len(col)))
+    assert ops.gather(scattered, perm_col).equals(col)

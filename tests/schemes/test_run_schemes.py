@@ -1,0 +1,150 @@
+"""Tests for the run-based schemes: RLE and RPE (the paper's §II-A pair)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.errors import DecompressionError
+from repro.schemes import (
+    RunLengthEncoding,
+    RunPositionEncoding,
+    build_rle_decompression_plan,
+    build_rpe_decompression_plan,
+)
+
+
+class TestRLE:
+    def test_constituents(self, small_column):
+        form = RunLengthEncoding().compress(small_column)
+        assert form.constituent("values").to_pylist() == [7, 9, 5]
+        assert form.constituent("lengths").to_pylist() == [3, 2, 4]
+
+    def test_roundtrip_plan(self, small_column):
+        scheme = RunLengthEncoding()
+        assert scheme.roundtrip(small_column).equals(small_column)
+
+    def test_roundtrip_fused(self, runs_data):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs_data)
+        assert scheme.decompress_fused(form).equals(runs_data)
+
+    def test_plan_matches_fused(self, runs_data):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs_data)
+        assert scheme.decompress(form).equals(scheme.decompress_fused(form))
+
+    def test_plan_is_algorithm_one(self):
+        plan = build_rle_decompression_plan()
+        ops_in_order = [step.op for step in plan.steps]
+        assert ops_in_order == ["PrefixSum", "PopBack", "Ones", "Zeros", "Scatter",
+                                "PrefixSum", "Gather"]
+        assert set(plan.inputs) == {"lengths", "values"}
+
+    def test_num_runs_parameter(self, small_column):
+        form = RunLengthEncoding().compress(small_column)
+        assert form.parameter("num_runs") == 3
+
+    def test_narrow_lengths(self, runs_data):
+        narrow = RunLengthEncoding(narrow_lengths=True).compress(runs_data)
+        wide = RunLengthEncoding(narrow_lengths=False).compress(runs_data)
+        assert narrow.compressed_size_bytes() < wide.compressed_size_bytes()
+        assert RunLengthEncoding(narrow_lengths=True).decompress(narrow).equals(runs_data)
+
+    def test_ratio_scales_with_run_length(self):
+        short = Column(np.repeat(np.arange(500), 2))
+        long = Column(np.repeat(np.arange(10), 100))
+        assert RunLengthEncoding().compression_ratio(long) > \
+            RunLengthEncoding().compression_ratio(short)
+
+    def test_all_distinct_is_worst_case(self):
+        col = Column(np.arange(100))
+        form = RunLengthEncoding().compress(col)
+        assert form.parameter("num_runs") == 100
+        assert RunLengthEncoding().decompress(form).equals(col)
+
+    def test_single_run(self):
+        col = Column([3] * 50)
+        form = RunLengthEncoding().compress(col)
+        assert form.parameter("num_runs") == 1
+        assert RunLengthEncoding().decompress(form).equals(col)
+
+    def test_empty_column(self, empty_column):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(empty_column)
+        assert len(scheme.decompress(form)) == 0
+
+    def test_mismatched_constituents_rejected(self, small_column):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(small_column)
+        broken = form.with_constituent("values", Column([1, 2]))
+        with pytest.raises(DecompressionError):
+            scheme.decompress_fused(broken)
+
+    def test_preserves_original_dtype(self):
+        col = Column(np.array([4, 4, 9, 9], dtype=np.uint32))
+        assert RunLengthEncoding().roundtrip(col).dtype == np.uint32
+
+
+class TestRPE:
+    def test_constituents_are_run_end_positions(self, small_column):
+        form = RunPositionEncoding().compress(small_column)
+        assert form.constituent("values").to_pylist() == [7, 9, 5]
+        assert form.constituent("run_positions").to_pylist() == [3, 5, 9]
+
+    def test_last_position_is_column_length(self, runs_data):
+        form = RunPositionEncoding().compress(runs_data)
+        assert form.constituent("run_positions")[-1] == len(runs_data)
+
+    def test_roundtrip(self, runs_data):
+        scheme = RunPositionEncoding()
+        assert scheme.roundtrip(runs_data).equals(runs_data)
+
+    def test_plan_matches_fused(self, runs_data):
+        scheme = RunPositionEncoding()
+        form = scheme.compress(runs_data)
+        assert scheme.decompress(form).equals(scheme.decompress_fused(form))
+
+    def test_plan_is_algorithm_one_without_first_step(self):
+        """The paper: apply Algorithm 1 'sans its first operation'."""
+        rle_plan = build_rle_decompression_plan()
+        rpe_plan = build_rpe_decompression_plan(derive_from_rle=True)
+        assert len(rpe_plan) == len(rle_plan) - 1
+        assert [s.op for s in rpe_plan.steps] == [s.op for s in rle_plan.steps[1:]]
+        assert "run_positions" in rpe_plan.inputs
+        assert "lengths" not in rpe_plan.inputs
+
+    def test_direct_and_derived_plans_agree(self, runs_data):
+        form = RunPositionEncoding(narrow_positions=False).compress(runs_data)
+        inputs = {"run_positions": form.constituent("run_positions"),
+                  "values": form.constituent("values")}
+        derived = build_rpe_decompression_plan(derive_from_rle=True).evaluate(inputs)
+        direct = build_rpe_decompression_plan(derive_from_rle=False).evaluate(inputs)
+        assert derived.equals(direct)
+
+    def test_value_at_random_access(self, small_column):
+        form = RunPositionEncoding().compress(small_column)
+        for position, expected in enumerate(small_column.to_pylist()):
+            assert RunPositionEncoding.value_at(form, position) == expected
+
+    def test_value_at_out_of_range(self, small_column):
+        form = RunPositionEncoding().compress(small_column)
+        with pytest.raises(DecompressionError):
+            RunPositionEncoding.value_at(form, len(small_column))
+        with pytest.raises(DecompressionError):
+            RunPositionEncoding.value_at(form, -1)
+
+    def test_rpe_trades_ratio_for_position_width(self, dates_data):
+        """RPE's positions need more bits than RLE's lengths (paper's trade-off)."""
+        rle_size = RunLengthEncoding().compress(dates_data).compressed_size_bytes()
+        rpe_size = RunPositionEncoding().compress(dates_data).compressed_size_bytes()
+        assert rpe_size >= rle_size
+
+    def test_empty_column(self, empty_column):
+        scheme = RunPositionEncoding()
+        assert len(scheme.decompress(scheme.compress(empty_column))) == 0
+
+    def test_single_run(self):
+        col = Column([7] * 10)
+        form = RunPositionEncoding().compress(col)
+        assert form.constituent("run_positions").to_pylist() == [10]
+        assert RunPositionEncoding().decompress(form).equals(col)

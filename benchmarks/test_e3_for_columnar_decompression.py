@@ -72,3 +72,33 @@ def test_e3_segment_length_sweep(benchmark, smooth_column):
     ratios = [row["ratio"] for row in rows]
     best_index = ratios.index(max(ratios))
     assert 0 < best_index < len(rows) - 1 or ratios[0] == max(ratios)
+
+
+def test_e3_compiled_vs_interpreted(benchmark, smooth_column):
+    """Chunk-at-a-time FOR decompression: compiled plan vs interpreter.
+
+    The optimizer reduces Algorithm 2's faithful 7-step plan to 3 steps
+    (constant scalarisation kills the ``ells`` column, scan strength
+    reduction turns the ones/prefix-sum pair into an ``Iota``, and the
+    unpack/gather/add tail fuses into one kernel); the executor additionally
+    caches the data-independent segment-index column across chunks.
+    """
+    from repro.bench.plan_compile import measure_scheme
+
+    report = ExperimentReport(
+        "E3", "FOR decompression: compiled plan vs interpreted plan (4096-row chunks)")
+    row = benchmark.pedantic(
+        lambda: measure_scheme(FrameOfReference(segment_length=128), smooth_column,
+                               chunk_rows=4096, repeats=5),
+        rounds=1, iterations=1)
+    report.add_row(**{k: row[k] for k in (
+        "scheme", "chunks", "interpreted_mvalues_per_s", "compiled_mvalues_per_s",
+        "speedup", "plan_steps", "optimized_steps")})
+    report.add_note("7-step faithful Algorithm 2 compiles to 3 steps; segment "
+                    "indices are shared across chunks")
+    print_report(report)
+    assert row["optimized_steps"] < row["plan_steps"]
+    # Acceptance gate: compiled decompression >= 1.5x interpreted on FOR.
+    # Measured ~2.5-3x on the reference container, so the full criterion is
+    # asserted directly.
+    assert row["speedup"] >= 1.5

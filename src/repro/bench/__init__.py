@@ -1,4 +1,9 @@
-"""Benchmark harness utilities shared by the experiment benchmarks (E1–E10)."""
+"""Benchmark harness utilities shared by the experiment benchmarks (E1–E10).
+
+:mod:`repro.bench.plan_compile` additionally provides the interpreted-vs-
+compiled decompression benchmark (``python -m repro.bench.plan_compile``),
+which writes ``BENCH_plan_compile.json`` for cross-PR perf tracking.
+"""
 
 from .harness import (
     ExperimentReport,
@@ -8,6 +13,10 @@ from .harness import (
     format_table,
     time_callable,
 )
+
+# NOTE: repro.bench.plan_compile is deliberately not imported here — it is a
+# runnable module (``python -m repro.bench.plan_compile``) and importing it
+# from the package __init__ would trigger runpy's double-import warning.
 
 __all__ = [
     "ExperimentReport",

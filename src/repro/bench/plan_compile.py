@@ -1,0 +1,181 @@
+"""Plan-compiler benchmark: interpreted vs compiled decompression throughput.
+
+Measures, per scheme, the chunk-at-a-time decompression throughput of
+
+* the **interpreted** path — rebuild the decompression plan and walk it with
+  the cost-accounting interpreter per chunk (the pre-compiler behaviour of
+  ``CompressionScheme.decompress``), and
+* the **compiled** path — the cached, optimized
+  :class:`~repro.columnar.compile.executor.CompiledPlan` the library now
+  executes,
+
+and writes the rows to ``BENCH_plan_compile.json`` so successive PRs have a
+perf trajectory to compare against.  Chunked execution (default 8192 rows,
+the vectorised engine granularity) is the representative workload: a scan
+over a large table decompresses thousands of chunks that all share one
+compiled plan.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.bench.plan_compile [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..columnar.column import Column
+from ..columnar.compile import cache_info, clear_caches
+from ..schemes.base import CompressionScheme
+from ..schemes.composite import Cascade
+from ..schemes.delta import Delta
+from ..schemes.dict_ import DictionaryEncoding
+from ..schemes.for_ import FrameOfReference
+from ..schemes.ns import NullSuppression
+from ..schemes.rle import RunLengthEncoding
+from ..schemes.rpe import RunPositionEncoding
+from ..workloads import (
+    monotone_identifiers,
+    runs_column,
+    smooth_measure,
+    uniform_random,
+    zipfian_categories,
+)
+from .harness import time_callable
+
+#: Rows per chunk: the vector granularity of the query engine (vectorised
+#: engines process 1–4K-row vectors so intermediates stay cache-resident).
+DEFAULT_CHUNK_ROWS = 4096
+DEFAULT_NUM_CHUNKS = 96
+QUICK_NUM_CHUNKS = 12
+
+
+def _workloads(num_rows: int) -> Dict[str, Callable[[], Column]]:
+    return {
+        "runs": lambda: runs_column(num_rows, average_run_length=32.0,
+                                    num_distinct_values=512, seed=11),
+        "smooth": lambda: smooth_measure(num_rows, seed=12),
+        "monotone": lambda: monotone_identifiers(num_rows, seed=13),
+        "categories": lambda: zipfian_categories(num_rows, num_categories=128, seed=14),
+        "uniform": lambda: uniform_random(num_rows, low=0, high=1 << 20, seed=15),
+    }
+
+
+#: (scheme factory, workload name) pairs benchmarked by default.  RLE and FOR
+#: are the acceptance-gate pair (experiments E2/E3); the rest track the
+#: compiler's effect across the operator mix.
+def _scheme_matrix() -> List[Tuple[str, CompressionScheme, str]]:
+    return [
+        ("RLE", RunLengthEncoding(), "runs"),
+        ("RPE", RunPositionEncoding(), "runs"),
+        ("FOR", FrameOfReference(segment_length=128), "smooth"),
+        ("DELTA", Delta(), "monotone"),
+        ("DICT", DictionaryEncoding(), "categories"),
+        ("NS", NullSuppression(), "uniform"),
+        ("RLE∘DELTA", Cascade.rle_then_delta_on_values(), "runs"),
+    ]
+
+
+def measure_scheme(scheme: CompressionScheme, column: Column,
+                   chunk_rows: int, repeats: int) -> Dict[str, Any]:
+    """Interpreted-vs-compiled decompression over all chunks of *column*."""
+    forms = []
+    for start in range(0, len(column), chunk_rows):
+        piece = Column(column.values[start:start + chunk_rows], name=column.name)
+        forms.append(scheme.compress(piece))
+
+    def interpreted() -> int:
+        total = 0
+        for form in forms:
+            total += len(scheme.decompress_interpreted(form))
+        return total
+
+    def compiled() -> int:
+        total = 0
+        for form in forms:
+            total += len(scheme.decompress(form))
+        return total
+
+    # Correctness first: the two paths must agree chunk for chunk.
+    for form in forms:
+        assert scheme.decompress(form).equals(scheme.decompress_interpreted(form)), \
+            f"compiled/interpreted divergence for {scheme.describe()}"
+
+    interpreted_timing = time_callable(interpreted, repeats=repeats, warmup=1)
+    compiled_timing = time_callable(compiled, repeats=repeats, warmup=1)
+    rows = len(column)
+    compiled_plan = scheme.compiled_decompression_plan(forms[0])
+    return {
+        "scheme": scheme.describe(),
+        "rows": rows,
+        "chunks": len(forms),
+        "chunk_rows": chunk_rows,
+        "plan_steps": len(compiled_plan.source.steps),
+        "optimized_steps": len(compiled_plan.plan.steps),
+        "interpreted_s": interpreted_timing.best_seconds,
+        "compiled_s": compiled_timing.best_seconds,
+        "interpreted_mvalues_per_s": rows / interpreted_timing.best_seconds / 1e6,
+        "compiled_mvalues_per_s": rows / compiled_timing.best_seconds / 1e6,
+        "speedup": interpreted_timing.best_seconds / max(compiled_timing.best_seconds, 1e-12),
+    }
+
+
+def run_benchmark(quick: bool = False, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                  repeats: Optional[int] = None) -> Dict[str, Any]:
+    """Run the full matrix and return the report dictionary."""
+    num_chunks = QUICK_NUM_CHUNKS if quick else DEFAULT_NUM_CHUNKS
+    repeats = repeats if repeats is not None else (2 if quick else 5)
+    num_rows = chunk_rows * num_chunks
+    clear_caches()
+    workloads = _workloads(num_rows)
+    rows = []
+    for name, scheme, workload in _scheme_matrix():
+        column = workloads[workload]()
+        row = measure_scheme(scheme, column, chunk_rows, repeats)
+        row["name"] = name
+        row["workload"] = workload
+        rows.append(row)
+    return {
+        "benchmark": "plan_compile",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+        "cache": cache_info(),
+    }
+
+
+def write_bench_json(path: str = "BENCH_plan_compile.json", quick: bool = False,
+                     chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Dict[str, Any]:
+    """Run the benchmark and write the JSON report to *path*."""
+    report = run_benchmark(quick=quick, chunk_rows=chunk_rows)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small data, few repeats (CI smoke mode)")
+    parser.add_argument("--out", default="BENCH_plan_compile.json",
+                        help="output JSON path")
+    parser.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS)
+    args = parser.parse_args(argv)
+    if args.chunk_rows <= 0:
+        parser.error(f"--chunk-rows must be positive, got {args.chunk_rows}")
+    report = write_bench_json(args.out, quick=args.quick, chunk_rows=args.chunk_rows)
+    for row in report["rows"]:
+        print(f"{row['name']:>10}  interpreted {row['interpreted_mvalues_per_s']:8.1f} Mv/s"
+              f"  compiled {row['compiled_mvalues_per_s']:8.1f} Mv/s"
+              f"  speedup {row['speedup']:5.2f}x"
+              f"  steps {row['plan_steps']}->{row['optimized_steps']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Columnar substrate: columns, operators, and operator plans.
+"""Columnar substrate: columns, operators, operator plans — and a compiler.
 
 This package provides the vector algebra the paper expresses decompression
 in: a plain :class:`~repro.columnar.column.Column` container, a registry of
@@ -6,6 +6,19 @@ columnar operators (:mod:`repro.columnar.ops`), and a plan representation
 (:mod:`repro.columnar.plan`) through which decompression becomes data that
 can be truncated, spliced and rewritten — the mechanical core of the paper's
 decomposition and re-composition arguments.
+
+Plans have two execution paths:
+
+* the **interpreter** (:meth:`Plan.evaluate` / :meth:`Plan.evaluate_detailed`)
+  walks the uncompiled step list — simple, introspectable, and the
+  reference semantics;
+* the **compiler** (:mod:`repro.columnar.compile`) optimizes the plan
+  (dead-step elimination, constant folding, scan strength reduction,
+  common-subplan elimination, elementwise fusion), resolves its operators
+  once, annotates binding liveness, and caches the compiled artifact by
+  structural signature so every chunk encoded with the same scheme shares
+  one compiled plan.  The two paths are observationally identical; the
+  property tests assert it for every registered scheme.
 """
 
 from .column import Column, as_column, concat_columns
@@ -22,8 +35,10 @@ from .plan import (
 )
 from . import dtypes
 from . import ops
+from . import compile
 
 __all__ = [
+    "compile",
     "Column",
     "as_column",
     "concat_columns",

@@ -1,0 +1,158 @@
+"""Compiled-plan caches keyed by structural signatures.
+
+Two levels of caching make "optimize once, execute everywhere" hold across
+the whole stack:
+
+* the **plan cache** maps a plan's *structural signature* — inputs, output,
+  and every step's (operator, bindings, parameters) — to its
+  :class:`~repro.columnar.compile.executor.CompiledPlan`.  Rebuilding the
+  same plan object (as ``CompressionScheme.decompression_plan`` does per
+  call) therefore costs one signature computation, not a re-optimization;
+* the **scheme cache** sits above it and maps a *scheme structural
+  signature* (scheme class + configuration + the form parameters its plan
+  depends on) straight to the compiled plan, skipping plan construction
+  entirely.  All chunks of a stored column encoded with the same scheme
+  share one compiled plan through this cache.
+
+Both caches are process-wide, bounded (FIFO eviction), and assume the
+default operator registry; callers using a custom registry should compile
+explicitly via :func:`~repro.columnar.compile.executor.compile_plan`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from ..plan import Plan
+from ..ops.registry import DEFAULT_REGISTRY, OperatorRegistry
+from .executor import CompiledPlan, compile_plan
+from .optimizer import freeze_value
+
+
+def plan_signature(plan: Plan) -> Tuple:
+    """A hashable key identifying the plan's structure (not its description)."""
+    return (
+        plan.inputs,
+        plan.output,
+        tuple(
+            (step.output, step.op,
+             tuple(sorted(step.column_inputs.items())),
+             tuple(sorted((key, freeze_value(value))
+                          for key, value in step.params.items())))
+            for step in plan.steps
+        ),
+    )
+
+
+class PlanCompileCache:
+    """A bounded structural-signature → :class:`CompiledPlan` cache."""
+
+    def __init__(self, registry: OperatorRegistry = DEFAULT_REGISTRY,
+                 max_entries: int = 512):
+        self.registry = registry
+        self.max_entries = max_entries
+        self._plans: "OrderedDict[Tuple, CompiledPlan]" = OrderedDict()
+        self._schemes: "OrderedDict[Tuple, CompiledPlan]" = OrderedDict()
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.scheme_hits = 0
+        self.scheme_misses = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _store(self, cache: "OrderedDict[Tuple, CompiledPlan]", key: Tuple,
+               compiled: CompiledPlan) -> None:
+        cache[key] = compiled
+        while len(cache) > self.max_entries:
+            cache.popitem(last=False)
+
+    def compiled(self, plan: Plan) -> CompiledPlan:
+        """The compiled form of *plan*, compiling on first sight."""
+        key = plan_signature(plan)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.plan_hits += 1
+            return cached
+        self.plan_misses += 1
+        compiled = compile_plan(plan, registry=self.registry)
+        self._store(self._plans, key, compiled)
+        return compiled
+
+    def compiled_partial(self, plan: Plan, stop_after: str) -> CompiledPlan:
+        """The compiled form of *plan* truncated at binding *stop_after*.
+
+        This is how partial evaluation goes through the executor: the
+        truncated plan is itself optimized, compiled and cached, so e.g.
+        "Algorithm 1 up to the prefix sum" (RLE → RPE) is a first-class
+        compiled artifact rather than an interpreter early-exit.
+        """
+        return self.compiled(plan.truncate_at(stop_after))
+
+    def compiled_for_scheme(self, scheme, form) -> CompiledPlan:
+        """The compiled decompression plan for *form* under *scheme*.
+
+        Uses ``scheme.plan_cache_key(form)`` as the first-level key; schemes
+        whose plans depend on more than that return ``None`` there and fall
+        back to plan-signature caching (the plan is rebuilt, compilation is
+        still shared).
+        """
+        key = scheme.plan_cache_key(form)
+        if key is None:
+            return self.compiled(scheme.decompression_plan(form))
+        cached = self._schemes.get(key)
+        if cached is not None:
+            self.scheme_hits += 1
+            return cached
+        self.scheme_misses += 1
+        compiled = self.compiled(scheme.decompression_plan(form))
+        self._store(self._schemes, key, compiled)
+        return compiled
+
+    # ------------------------------------------------------------------ #
+
+    def info(self) -> Dict[str, int]:
+        """Hit/miss/size statistics of both cache levels."""
+        return {
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_entries": len(self._plans),
+            "scheme_hits": self.scheme_hits,
+            "scheme_misses": self.scheme_misses,
+            "scheme_entries": len(self._schemes),
+        }
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._schemes.clear()
+        self.plan_hits = self.plan_misses = 0
+        self.scheme_hits = self.scheme_misses = 0
+
+
+#: The process-wide cache used by the scheme, storage and engine layers.
+GLOBAL_CACHE = PlanCompileCache()
+
+
+def compiled_plan(plan: Plan) -> CompiledPlan:
+    """Compile *plan* through the process-wide cache."""
+    return GLOBAL_CACHE.compiled(plan)
+
+
+def compiled_partial_plan(plan: Plan, stop_after: str) -> CompiledPlan:
+    """Compile the truncation of *plan* at *stop_after* through the cache."""
+    return GLOBAL_CACHE.compiled_partial(plan, stop_after)
+
+
+def compiled_plan_for_scheme(scheme, form) -> CompiledPlan:
+    """Compiled decompression plan for (scheme, form), through both cache levels."""
+    return GLOBAL_CACHE.compiled_for_scheme(scheme, form)
+
+
+def cache_info() -> Dict[str, int]:
+    """Statistics of the process-wide compile cache."""
+    return GLOBAL_CACHE.info()
+
+
+def clear_caches() -> None:
+    """Empty the process-wide compile cache (used by tests and benchmarks)."""
+    GLOBAL_CACHE.clear()

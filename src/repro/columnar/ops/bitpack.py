@@ -14,9 +14,12 @@ bits ``[i*w, (i+1)*w)`` of the bit stream, least-significant bit first.
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 import numpy as np
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 from ...errors import OperatorError
 from ..column import Column
@@ -26,6 +29,38 @@ from .registry import register_operator
 def _require_width(width: int) -> None:
     if not 1 <= width <= 64:
         raise OperatorError(f"bit width must be in [1, 64], got {width}")
+
+
+def _unpack_bits_values(buf: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Raw-array unpack kernel: *count* ``width``-bit values from *buf* (uint64).
+
+    On little-endian machines this works at 64-bit word granularity: value
+    ``i`` starts at bit ``i*width``, so its bits live in the word at
+    ``bitpos >> 6`` and (when straddling) the following word.  Two gathers,
+    three shifts and a mask replace the per-bit matrix of the generic path —
+    about an order of magnitude less memory traffic.
+    """
+    if _LITTLE_ENDIAN:
+        needed_bits = count * width
+        num_words = (needed_bits + 63) // 64 + 1
+        padded = np.zeros(num_words * 8, dtype=np.uint8)
+        padded[:min(buf.size, padded.size)] = buf[:min(buf.size, padded.size)]
+        words = padded.view("<u8")
+        bitpos = np.arange(count, dtype=np.uint64) * np.uint64(width)
+        word_idx = (bitpos >> np.uint64(6)).astype(np.intp)
+        bit = bitpos & np.uint64(63)
+        low = words[word_idx] >> bit
+        # Bits from the next word: shift left by (64 - bit) in two steps of
+        # <= 63 so that bit == 0 cleanly contributes nothing (a single shift
+        # by 64 would be undefined).
+        high = (words[word_idx + 1] << (np.uint64(63) - bit)) << np.uint64(1)
+        values = low | high
+        if width < 64:
+            values &= np.uint64((1 << width) - 1)
+        return values
+    bits = np.unpackbits(buf, count=count * width, bitorder="little").reshape(count, width)
+    weights = (np.uint64(1) << np.arange(width, dtype=np.uint64))
+    return (bits.astype(np.uint64) * weights[None, :]).sum(axis=1, dtype=np.uint64)
 
 
 @register_operator("PackBits", 1, "bit-pack non-negative integers at a fixed width",
@@ -84,9 +119,7 @@ def unpack_bits(packed: Column, width: int, count: int,
         raise OperatorError(
             f"UnpackBits() buffer holds {buf.size * 8} bits, needs {needed_bits}"
         )
-    bits = np.unpackbits(buf, count=needed_bits, bitorder="little").reshape(count, width)
-    weights = (np.uint64(1) << np.arange(width, dtype=np.uint64))
-    values = (bits.astype(np.uint64) * weights[None, :]).sum(axis=1, dtype=np.uint64)
+    values = _unpack_bits_values(buf, width, count)
     return Column(values.astype(dtype), name=name or packed.name)
 
 
@@ -106,9 +139,14 @@ def zigzag_encode(col: Column, name: Optional[str] = None) -> Column:
     return Column(encoded.astype(np.uint64), name=name or col.name)
 
 
+def _zigzag_decode_values(values: np.ndarray) -> np.ndarray:
+    """Raw-array zig-zag decode kernel (shared with the fused-kernel path)."""
+    unsigned = values.astype(np.uint64, copy=False)
+    return ((unsigned >> np.uint64(1)).astype(np.int64)
+            ^ -(unsigned & np.uint64(1)).astype(np.int64))
+
+
 @register_operator("ZigZagDecode", 1, "inverse of zig-zag encoding", category="bitpack")
 def zigzag_decode(col: Column, name: Optional[str] = None) -> Column:
     """Invert :func:`zigzag_encode`."""
-    values = col.values.astype(np.uint64, copy=False)
-    decoded = (values >> np.uint64(1)).astype(np.int64) ^ -(values & np.uint64(1)).astype(np.int64)
-    return Column(decoded, name=name or col.name)
+    return Column(_zigzag_decode_values(col.values), name=name or col.name)

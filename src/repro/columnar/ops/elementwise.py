@@ -16,6 +16,7 @@ import numpy as np
 
 from ...errors import OperatorError
 from ..column import Column
+from .bitpack import _zigzag_decode_values
 from .registry import register_operator
 
 Operand = Union[Column, int, float]
@@ -54,6 +55,9 @@ UNARY_OPERATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
     # residuals to a real-valued model prediction (piecewise-linear /
     # polynomial decompression plans).
     "round": lambda a: np.rint(a).astype(np.int64),
+    # Zig-zag decoding is element-wise, which lets the plan optimizer fuse a
+    # ``ZigZagDecode`` step into an adjacent elementwise chain.
+    "zigzag": _zigzag_decode_values,
 }
 
 
@@ -157,6 +161,76 @@ def adjacent_difference(col: Column, name: Optional[str] = None) -> Column:
         out[0] = arr[0]
         np.subtract(arr[1:], arr[:-1], out=out[1:])
     return Column(out, name=name or col.name)
+
+
+@register_operator("FusedElementwise", None,
+                   "a fused region of element-wise / gather / unpack operations",
+                   category="elementwise")
+def fused_elementwise(chain, name: Optional[str] = None, **operands) -> Column:
+    """Execute a pre-compiled region of fusable operations in one call.
+
+    *chain* is a tuple of instructions produced by the plan optimizer
+    (:func:`repro.columnar.compile.optimizer.fuse_elementwise_chains`).
+    Instruction ``i`` writes virtual register ``i``; the last register is
+    the result.  Instruction forms:
+
+    * ``("binary", op, a, b)`` — a named binary elementwise operation;
+    * ``("unary", op, a)`` — a named unary elementwise operation;
+    * ``("gather", values, indices)`` — random-access read;
+    * ``("unpack", packed, width, count, dtype)`` — fixed-width bit unpack.
+
+    An operand reference is ``("reg", i)`` (an earlier register),
+    ``("col", slot)`` (a column passed via *operands*), ``("param", key)``
+    (a scalar passed via *operands*, typically a resolved ParamRef) or
+    ``("lit", value)``.
+
+    The region's intermediates live only as raw NumPy arrays inside this
+    one call — nothing is wrapped in a :class:`Column` until the final
+    result — which is what removes the per-step materialisation and
+    validation cost of the interpreted plan.  The optimizer only emits
+    regions for plans that are valid as written, so the redundant per-step
+    checks (operand lengths, gather bounds) are elided here.
+    """
+    from .bitpack import _unpack_bits_values
+
+    registers: list = []
+
+    def resolve(ref):
+        kind = ref[0]
+        if kind == "reg":
+            return registers[ref[1]]
+        if kind == "col":
+            return operands[ref[1]].values
+        if kind == "param":
+            return operands[ref[1]]
+        return ref[1]  # ("lit", value)
+
+    for instruction in chain:
+        kind = instruction[0]
+        if kind == "binary":
+            op = instruction[1]
+            if op not in BINARY_OPERATIONS:
+                raise OperatorError(f"unknown fused binary operation {op!r}")
+            result = BINARY_OPERATIONS[op](resolve(instruction[2]),
+                                           resolve(instruction[3]))
+        elif kind == "unary":
+            op = instruction[1]
+            if op not in UNARY_OPERATIONS:
+                raise OperatorError(f"unknown fused unary operation {op!r}")
+            result = UNARY_OPERATIONS[op](np.asarray(resolve(instruction[2])))
+        elif kind == "gather":
+            result = np.asarray(resolve(instruction[1]))[np.asarray(resolve(instruction[2]))]
+        elif kind == "unpack":
+            result = _unpack_bits_values(np.asarray(resolve(instruction[1])),
+                                         int(resolve(instruction[2])),
+                                         int(resolve(instruction[3])))
+            result = result.astype(resolve(instruction[4]))
+        else:
+            raise OperatorError(f"unknown fused instruction kind {kind!r}")
+        registers.append(result)
+    if not registers:
+        raise OperatorError("FusedElementwise() requires a non-empty chain")
+    return Column(np.asarray(registers[-1]), name=name)
 
 
 @register_operator("Compare", None, "element-wise comparison producing a boolean mask",

@@ -211,7 +211,15 @@ class PlanCost:
 
 @dataclass
 class EvaluationResult:
-    """The outcome of evaluating a plan: output, all bindings, and cost."""
+    """The outcome of a *detailed* plan evaluation: output, bindings, cost.
+
+    Retaining ``bindings`` pins every intermediate column of the evaluation
+    in memory, so this result is only produced by the opt-in
+    :meth:`Plan.evaluate_detailed` path (and by the compiled executor's
+    ``run_detailed``); the plain :meth:`Plan.evaluate` fast path frees
+    intermediates as soon as their last consumer has run and returns only
+    the output column.
+    """
 
     output: Column
     bindings: Dict[str, Column]
@@ -323,8 +331,56 @@ class Plan:
         inputs: Mapping[str, Column],
         registry: OperatorRegistry = DEFAULT_REGISTRY,
     ) -> Column:
-        """Evaluate the plan and return only the output column."""
-        return self.evaluate_detailed(inputs, registry=registry).output
+        """Evaluate the plan and return only the output column.
+
+        This is the fast interpreted path: it performs no cost accounting
+        and frees every intermediate binding as soon as its last consumer
+        has run, so evaluating a plan does not pin all of its intermediates
+        in memory at once.  Callers that want the full environment or cost
+        accounting opt in via :meth:`evaluate_detailed`; callers that want
+        the optimized, cached execution use :mod:`repro.columnar.compile`.
+        """
+        env: Dict[str, Column] = {}
+        for name in self.inputs:
+            if name not in inputs:
+                raise PlanError(f"missing plan input {name!r}")
+            value = inputs[name]
+            if not isinstance(value, Column):
+                raise PlanError(f"plan input {name!r} must be a Column, got {type(value)!r}")
+            env[name] = value
+        if self.output in env:
+            return env[self.output]
+
+        # Last consumer of every binding, so intermediates can be freed early.
+        last_use: Dict[str, int] = {}
+        for index, step in enumerate(self.steps):
+            for binding in step.dependencies():
+                last_use[binding] = index
+
+        for index, step in enumerate(self.steps):
+            spec = registry.get(step.op)
+            kwargs: Dict[str, Any] = {}
+            for arg_name, binding in step.column_inputs.items():
+                kwargs[arg_name] = env[binding]
+            for arg_name, value in step.params.items():
+                kwargs[arg_name] = value.resolve(env) if isinstance(value, ParamRef) else value
+            try:
+                result = spec.func(**kwargs)
+            except TypeError as exc:
+                raise PlanError(
+                    f"step {step.output!r} ({step.op}) could not be invoked: {exc}"
+                ) from exc
+            if not isinstance(result, Column):
+                raise PlanError(
+                    f"operator {step.op!r} returned {type(result)!r}, expected Column"
+                )
+            env[step.output] = result
+            if step.output == self.output:
+                return result
+            for binding in step.dependencies():
+                if last_use.get(binding) == index and binding != self.output:
+                    env.pop(binding, None)
+        raise PlanError(f"binding {self.output!r} was never computed")
 
     def evaluate_detailed(
         self,

@@ -38,6 +38,13 @@ class ScanStats:
     chunks_decompressed: int = 0
     rows_scanned: int = 0
     rows_selected: int = 0
+    #: Compiled-plan cache traffic attributable to this scan: ``hits`` counts
+    #: chunk decompressions served by an already-compiled plan (at either
+    #: cache level), ``misses`` counts actual plan compilations.  A healthy
+    #: multi-chunk scan compiles at most one plan per distinct scheme and
+    #: hits the cache for every further chunk.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     pushdown: PushdownStats = field(default_factory=PushdownStats)
 
     def merge_pushdown(self, stats: PushdownStats) -> None:
@@ -86,9 +93,12 @@ def filter_table(table: Table, predicate: Predicate,
     whole chunk), then compressed-form pushdown when available and enabled,
     then decompress-and-compare as the fallback.
     """
+    from ..columnar.compile import cache_info
+
     stored = table.column(predicate.column_name)
     stats = ScanStats(chunks_total=stored.num_chunks)
     selections: List[SelectionVector] = []
+    cache_before = cache_info()
 
     for chunk in stored.iter_chunks():
         stats.rows_scanned += chunk.row_count
@@ -123,6 +133,10 @@ def filter_table(table: Table, predicate: Predicate,
         stats.rows_selected += len(selection)
         selections.append(selection)
 
+    cache_after = cache_info()
+    stats.plan_cache_hits = (cache_after["scheme_hits"] - cache_before["scheme_hits"]
+                             + cache_after["plan_hits"] - cache_before["plan_hits"])
+    stats.plan_cache_misses = cache_after["plan_misses"] - cache_before["plan_misses"]
     return SelectionVector.concatenate(selections), stats
 
 

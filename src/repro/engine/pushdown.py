@@ -77,6 +77,47 @@ def _run_lengths_of_form(form: CompressedForm) -> np.ndarray:
     raise QueryError(f"run-domain pushdown expects an RLE or RPE form, got {form.scheme!r}")
 
 
+def run_positions_of(form: CompressedForm) -> np.ndarray:
+    """Run *end* positions of an RLE/RPE form, as int64.
+
+    RPE stores them directly.  For RLE they are obtained by executing the
+    compiled truncation of Algorithm 1 at its first binding
+    (``run_positions``) — partial evaluation through the plan executor, the
+    executable form of "RLE converts to RPE by one prefix sum".
+    """
+    _require_run_form(form)
+    if form.scheme == "RPE":
+        return form.constituent("run_positions").values.astype(np.int64)
+    from ..columnar.compile import compiled_partial_plan
+    from ..schemes.rle import build_rle_decompression_plan
+
+    compiled = compiled_partial_plan(build_rle_decompression_plan(), "run_positions")
+    positions = compiled.run({"lengths": form.constituent("lengths"),
+                              "values": form.constituent("values")})
+    return positions.values.astype(np.int64)
+
+
+def point_lookup_on_runs(form: CompressedForm, row: int
+                         ) -> Tuple[int, PushdownStats]:
+    """``column[row]`` on an RLE/RPE form without decompressing.
+
+    One binary search over the run end positions decides which run covers
+    *row*; only that run's value is read.  For RLE the positions come from
+    the compiled partial plan (see :func:`run_positions_of`).
+    """
+    _require_run_form(form)
+    if not 0 <= row < form.original_length:
+        raise QueryError(
+            f"point lookup at row {row} is out of range [0, {form.original_length})"
+        )
+    positions = run_positions_of(form)
+    run = int(np.searchsorted(positions, row, side="right"))
+    value = int(form.constituent("values")[run])
+    stats = PushdownStats(rows_total=form.original_length, rows_decoded=1,
+                          runs_total=len(positions))
+    return value, stats
+
+
 def range_mask_on_runs(form: CompressedForm, bounds: RangeBounds
                        ) -> Tuple[Column, PushdownStats]:
     """Evaluate a range predicate on an RLE/RPE form, returning a row mask.

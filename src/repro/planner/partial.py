@@ -60,6 +60,28 @@ class PartialPlan:
     stop_after: Optional[str]
     reason: str
 
+    def execute(self, scheme: CompressionScheme, form: CompressedForm):
+        """Run the decided plan fragment through the compiled executor.
+
+        Partial evaluation no longer relies on the interpreter's
+        ``stop_after`` early-exit: the plan is *truncated* at the stop
+        binding, and the truncated plan is optimized, compiled and cached in
+        its own right (:mod:`repro.columnar.compile`), so e.g. "Algorithm 1
+        up to the prefix sum" costs one compilation ever, then pure
+        execution.  Returns the materialised column, or ``None`` for the
+        ``"none"`` strategy (the pushdown kernels answer without any
+        columnar work).
+        """
+        if self.plan is None:
+            return None
+        from ..columnar.compile import compiled_partial_plan, compiled_plan
+
+        if self.stop_after is not None:
+            compiled = compiled_partial_plan(self.plan, self.stop_after)
+        else:
+            compiled = compiled_plan(self.plan)
+        return compiled.run(scheme.plan_inputs(form))
+
 
 def plan_for_intent(scheme: CompressionScheme, form: CompressedForm,
                     intent: str) -> PartialPlan:

@@ -9,9 +9,12 @@ layer, :mod:`repro.storage`).  :class:`CompressedForm` is that bundle, and
 * ``compress(column) -> CompressedForm``
 * ``decompression_plan(form) -> Plan`` — decompression *as data*, expressed
   in the columnar operator algebra;
-* ``decompress(form) -> Column`` — by definition, evaluating that plan (a
-  scheme may also provide a hand-fused kernel via ``decompress_fused`` as a
-  cross-check and a performance baseline).
+* ``decompress(form) -> Column`` — by definition, evaluating that plan.  The
+  default implementation executes the plan's *compiled* form (optimized and
+  cached by scheme signature, see :mod:`repro.columnar.compile`);
+  ``decompress_interpreted`` keeps the plain interpreted evaluation as a
+  baseline, and a scheme may also provide a hand-fused kernel via
+  ``decompress_fused`` as a cross-check and a performance ceiling.
 
 Lossy "model" schemes (the step-function model of §II-B, the piecewise
 linear/polynomial enrichments) set ``is_lossless = False`` and additionally
@@ -27,6 +30,8 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 import numpy as np
 
 from ..columnar.column import Column
+from ..columnar.compile import compiled_plan_for_scheme, freeze_value
+from ..columnar.compile.executor import CompiledPlan
 from ..columnar.plan import Plan
 from ..errors import CompressionError, DecompressionError
 
@@ -84,6 +89,18 @@ class CompressedForm:
     def constituent_names(self) -> Tuple[str, ...]:
         """Names of all constituents (plain and nested), sorted."""
         return tuple(sorted(set(self.columns) | set(self.nested)))
+
+    def frozen_parameters(self) -> Any:
+        """The scalar parameters as a hashable structure (memoised).
+
+        Used as half of the compiled-plan cache key; parameters are treated
+        as immutable once the form is built.
+        """
+        frozen = self.__dict__.get("_frozen_parameters")
+        if frozen is None:
+            frozen = freeze_value(self.parameters)
+            self.__dict__["_frozen_parameters"] = frozen
+        return frozen
 
     def with_constituent(self, name: str, column: Column) -> "CompressedForm":
         """Return a copy of the form with constituent *name* replaced."""
@@ -156,6 +173,13 @@ class CompressionScheme(abc.ABC):
     #: only become lossless when composed with a residual scheme.
     is_lossless: bool = True
 
+    #: Whether :meth:`decompression_plan` varies with the compressed form's
+    #: parameters.  Schemes whose plan is one fixed operator sequence (RLE,
+    #: RPE, DELTA, ID) set this False, so every form — e.g. every chunk of a
+    #: stored column — shares a single compiled plan regardless of
+    #: data-statistics parameters like ``num_runs``.
+    plan_depends_on_form: bool = True
+
     # ------------------------------------------------------------------ #
     # Mandatory interface
     # ------------------------------------------------------------------ #
@@ -177,14 +201,70 @@ class CompressionScheme(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def decompress(self, form: CompressedForm) -> Column:
-        """Decompress by evaluating :meth:`decompression_plan`.
+        """Decompress by executing the *compiled* decompression plan.
 
-        The output is cast back to the original dtype of the column.
+        :meth:`decompression_plan` remains the uncompiled specification;
+        this default routes it through :mod:`repro.columnar.compile`, so the
+        plan is optimized once and the compiled artifact is shared by every
+        form with the same scheme signature (e.g. all chunks of a stored
+        column).  The output is cast back to the original dtype.
+        """
+        self._check_form(form)
+        compiled = self.compiled_decompression_plan(form)
+        result = compiled.run(self.plan_inputs(form))
+        return self._restore(result, form)
+
+    def decompress_interpreted(self, form: CompressedForm) -> Column:
+        """Decompress by rebuilding and interpreting the plan (no compilation).
+
+        This is the pre-compiler execution path, kept as the baseline the
+        benchmarks compare the compiled path against and as a correctness
+        cross-check: it must always agree with :meth:`decompress`.
         """
         self._check_form(form)
         plan = self.decompression_plan(form)
-        result = plan.evaluate(self.plan_inputs(form))
+        result = plan.evaluate_detailed(self.plan_inputs(form)).output
         return self._restore(result, form)
+
+    def compiled_decompression_plan(self, form: CompressedForm) -> CompiledPlan:
+        """The cached compiled plan that :meth:`decompress` executes."""
+        return compiled_plan_for_scheme(self, form)
+
+    def plan_key_parameters(self) -> Dict[str, Any]:
+        """The scheme configuration its decompression plan depends on.
+
+        Defaults to :meth:`parameters`; schemes with plan-shaping knobs not
+        reported there (e.g. FOR's ``faithful_plan``) override this so the
+        compiled-plan cache keys on them too.
+        """
+        return self.parameters()
+
+    def plan_cache_key(self, form: CompressedForm) -> Optional[Tuple[Any, ...]]:
+        """Structural cache key for the compiled decompression plan, or ``None``.
+
+        The default captures everything the plans in this library depend on:
+        the scheme class, its plan-relevant configuration, and the form's
+        scalar parameters.  A scheme whose plan depends on anything else
+        (e.g. the constituent data itself) must override this — returning
+        ``None`` disables scheme-level caching and falls back to caching by
+        plan structural signature.
+
+        Both frozen halves are memoised (scheme configuration on the scheme
+        instance, form parameters on the form) so the per-decompression key
+        cost is one tuple construction; schemes and form parameters are
+        treated as immutable after construction, as everywhere else in the
+        library.
+        """
+        try:
+            prefix = self.__dict__.get("_plan_key_prefix")
+            if prefix is None:
+                prefix = (type(self).__qualname__,
+                          freeze_value(self.plan_key_parameters()))
+                self.__dict__["_plan_key_prefix"] = prefix
+            frozen = form.frozen_parameters() if self.plan_depends_on_form else ()
+            return prefix + (form.scheme, frozen)
+        except TypeError:  # unhashable configuration -> fall back to
+            return None    # plan-signature caching; real bugs propagate
 
     def decompress_fused(self, form: CompressedForm) -> Column:
         """Decompress with a hand-fused kernel, when the scheme provides one.

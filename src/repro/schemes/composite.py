@@ -146,13 +146,91 @@ class Cascade(CompressionScheme):
         )
 
     def decompress(self, form: CompressedForm) -> Column:
-        """Reconstruct the constituents, then decompress with the outer scheme."""
+        """Decompress through the flat composed plan (compose, then optimize).
+
+        The spliced plan of :meth:`decompression_plan` is compiled through
+        :mod:`repro.columnar.compile`, so common subplans shared between
+        constituents are eliminated and the whole cascade executes as one
+        optimized operator sequence.  Empty columns take the constituent-wise
+        path, which tolerates empty nested forms.
+        """
+        self._check_form(form)
+        if form.original_length == 0:
+            return self.outer.decompress(self._outer_form(form))
+        return super().decompress(form)
+
+    def decompress_constituentwise(self, form: CompressedForm) -> Column:
+        """Reconstruct the constituents, then decompress with the outer scheme.
+
+        The pre-compiler path, kept as a cross-check for the flat compiled
+        plan (both must agree bit for bit).
+        """
         self._check_form(form)
         return self.outer.decompress(self._outer_form(form))
+
+    def plan_key_parameters(self) -> Dict[str, Any]:
+        return {
+            "outer": (type(self.outer).__qualname__, self.outer.plan_key_parameters()),
+            "inner": {name: (type(scheme).__qualname__, scheme.plan_key_parameters())
+                      for name, scheme in self.inner.items()},
+        }
+
+    def plan_cache_key(self, form: CompressedForm):
+        """Key the flat plan on the outer scheme *and* every nested form.
+
+        The spliced plan embeds each inner scheme's decompression plan, so
+        the key must recurse into the nested forms' own cache keys; if any
+        constituent declines caching, the cascade declines too.
+        """
+        from ..columnar.compile import freeze_value
+        inner_keys = []
+        for name, scheme in sorted(self.inner.items()):
+            nested_form = form.nested.get(name)
+            if nested_form is None:
+                return None
+            nested_key = scheme.plan_cache_key(nested_form)
+            if nested_key is None:
+                return None
+            inner_keys.append((name, nested_key))
+        try:
+            prefix = self.__dict__.get("_plan_key_prefix")
+            if prefix is None:
+                prefix = ("Cascade", type(self.outer).__qualname__,
+                          freeze_value(self.outer.plan_key_parameters()))
+                self.__dict__["_plan_key_prefix"] = prefix
+            frozen = (form.frozen_parameters()
+                      if self.outer.plan_depends_on_form else ())
+            return prefix + (frozen, tuple(inner_keys))
+        except TypeError:  # unhashable configuration -> plan-signature caching
+            return None
 
     def decompress_fused(self, form: CompressedForm) -> Column:
         self._check_form(form)
         return self.outer.decompress_fused(self._outer_form(form))
+
+    def _outer_form_stub(self, form: CompressedForm) -> CompressedForm:
+        """The outer form's *shape* — parameters and constituent names — only.
+
+        Decompression plans depend on a form's scalar parameters, never on
+        its constituent data, so plan construction does not need the nested
+        constituents decompressed; they are stood in by empty placeholder
+        columns.  (:meth:`_outer_form`, which does decompress, remains for
+        the constituent-wise execution path.)
+        """
+        columns = dict(form.columns)
+        for constituent in self.inner:
+            if constituent not in form.nested:
+                raise DecompressionError(
+                    f"composite form is missing nested constituent {constituent!r}"
+                )
+            columns[constituent] = Column.empty(name=constituent)
+        return CompressedForm(
+            scheme=self.outer.name,
+            columns=columns,
+            parameters=dict(form.parameters),
+            original_length=form.original_length,
+            original_dtype=form.original_dtype,
+        )
 
     def decompression_plan(self, form: CompressedForm) -> Plan:
         """One flat plan: inner decompressions spliced in front of the outer plan.
@@ -160,8 +238,7 @@ class Cascade(CompressionScheme):
         The inner plans' inputs are namespaced ``"<constituent>.<input>"`` so
         two inner schemes with identically-named constituents cannot collide.
         """
-        outer_form = self._outer_form(form)
-        plan = self.outer.decompression_plan(outer_form)
+        plan = self.outer.decompression_plan(self._outer_form_stub(form))
         for constituent, scheme in self.inner.items():
             nested_form = form.nested[constituent]
             inner_plan = scheme.decompression_plan(nested_form)

@@ -31,11 +31,12 @@ experiment E4/E5 benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..columnar.column import Column
+from ..columnar.compile import optimize
 from ..columnar.ops import scan as _scan
 from ..columnar.ops.elementwise import adjacent_difference
 from ..columnar.plan import Plan
@@ -174,6 +175,34 @@ def derive_stepfunction_plan_from_for(segment_length: int) -> Plan:
 
 
 # --------------------------------------------------------------------------- #
+# Surgery / optimizer commutation
+# --------------------------------------------------------------------------- #
+
+def surgery_commutes_with_optimization(plan: Plan, inputs, *,
+                                       truncate_at: Optional[str] = None,
+                                       drop_prefix: Optional[List[str]] = None) -> bool:
+    """Check that plan surgery and the optimizer commute observationally.
+
+    The paper's decomposition arguments are *surgery on uncompiled plans*
+    (drop the first steps, keep only the initial steps); the plan compiler
+    rewrites plans aggressively.  The two must not interfere: optimizing a
+    surgered plan has to evaluate to exactly what the surgered plan
+    evaluates to.  (The stronger syntactic property — surgering an
+    *optimized* plan — is not required, since optimization may remove the
+    very binding the surgery names; surgery is therefore always performed
+    on the uncompiled specification.)
+    """
+    surgered = plan
+    if truncate_at is not None:
+        surgered = surgered.truncate_at(truncate_at)
+    if drop_prefix is not None:
+        surgered = surgered.drop_prefix(drop_prefix)
+    reference = surgered.evaluate(inputs)
+    optimized = optimize(surgered).evaluate(inputs)
+    return optimized.equals(reference, check_dtype=True)
+
+
+# --------------------------------------------------------------------------- #
 # Machine-checkable identities
 # --------------------------------------------------------------------------- #
 
@@ -239,12 +268,25 @@ def _check_rpe_plan_is_truncated_rle_plan(column: Column) -> bool:
         derived.evaluate(inputs).equals(Column(column.values.astype(np.int64)))
 
 
+def _check_rpe_derivation_commutes_with_optimizer(column: Column) -> bool:
+    """Optimizing the prefix-dropped Algorithm 1 preserves its result."""
+    if len(column) == 0:
+        return True
+    rpe_form = RunPositionEncoding(narrow_positions=False).compress(column)
+    inputs = {"run_positions": rpe_form.constituent("run_positions"),
+              "values": rpe_form.constituent("values")}
+    return surgery_commutes_with_optimization(
+        build_rle_decompression_plan(), inputs, drop_prefix=["run_positions"]
+    )
+
+
 RLE_VIA_RPE = DecompositionIdentity(
     name="RLE ≡ (ID values, DELTA run_positions) ∘ RPE",
     checks=[
         _check_rle_rpe_roundtrip_agreement,
         _check_lengths_equal_delta_of_positions,
         _check_rpe_plan_is_truncated_rle_plan,
+        _check_rpe_derivation_commutes_with_optimizer,
     ],
 )
 
@@ -299,12 +341,27 @@ def _check_stepfunction_plan_is_truncated_for_plan(column: Column) -> bool:
         Column(expected.values.astype(np.int64)))
 
 
+def _check_stepfunction_derivation_commutes_with_optimizer(column: Column) -> bool:
+    """Optimizing the truncated Algorithm 2 preserves the model evaluation."""
+    if len(column) == 0:
+        return True
+    for_scheme = FrameOfReference(segment_length=_IDENTITY_SEGMENT_LENGTH, reference="min",
+                                  offsets_layout="aligned")
+    form = for_scheme.compress(column)
+    inputs = {"refs": form.constituent("refs"),
+              "offsets": form.constituent("offsets")}
+    full = build_for_decompression_plan(_IDENTITY_SEGMENT_LENGTH, offsets_params=None,
+                                        faithful_to_paper=True)
+    return surgery_commutes_with_optimization(full, inputs, truncate_at="replicated")
+
+
 FOR_VIA_STEPFUNCTION = DecompositionIdentity(
     name="FOR ≡ STEPFUNCTION + NS",
     checks=[
         _check_for_splits_into_model_plus_residuals,
         _check_for_reassembles,
         _check_stepfunction_plan_is_truncated_for_plan,
+        _check_stepfunction_derivation_commutes_with_optimizer,
     ],
 )
 

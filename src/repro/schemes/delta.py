@@ -39,6 +39,8 @@ class Delta(CompressionScheme):
     """
 
     name = "DELTA"
+    #: Decompression is always exactly one prefix sum.
+    plan_depends_on_form = False
 
     def __init__(self, narrow: bool = True):
         self.narrow = narrow

@@ -119,6 +119,12 @@ class FrameOfReference(CompressionScheme):
             "offsets_layout": self.offsets_layout,
         }
 
+    def plan_key_parameters(self) -> Dict[str, Any]:
+        # ``faithful_plan`` changes the shape of the decompression plan but is
+        # not part of the reported configuration; the compiled-plan cache must
+        # key on it.
+        return {**self.parameters(), "faithful_plan": self.faithful_plan}
+
     def expected_constituents(self) -> Tuple[str, ...]:
         return ("refs", "offsets")
 

@@ -22,6 +22,8 @@ class Identity(CompressionScheme):
     """Store the column as-is; decompression is a no-op (an empty plan)."""
 
     name = "ID"
+    #: The trivial plan never varies.
+    plan_depends_on_form = False
 
     def compress(self, column: Column) -> CompressedForm:
         """Wrap *column* unchanged as the single constituent ``"values"``."""

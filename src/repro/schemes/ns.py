@@ -188,8 +188,8 @@ class NullSuppression(CompressionScheme):
 
     def decompress(self, form: CompressedForm) -> Column:
         self._check_form(form)
-        plan = self.decompression_plan(form)
-        result = plan.evaluate(self.plan_inputs(form))
+        compiled = self.compiled_decompression_plan(form)
+        result = compiled.run(self.plan_inputs(form))
         if len(result) == 0 and form.original_length == 0:
             result = Column.empty(form.original_dtype)
         # Unsigned intermediate values must be reinterpreted as signed before

@@ -61,6 +61,8 @@ class RunLengthEncoding(CompressionScheme):
     """
 
     name = "RLE"
+    #: Algorithm 1 is one fixed operator sequence for every form.
+    plan_depends_on_form = False
 
     def __init__(self, narrow_lengths: bool = True):
         self.narrow_lengths = narrow_lengths

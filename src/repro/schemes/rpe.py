@@ -67,6 +67,8 @@ class RunPositionEncoding(CompressionScheme):
     """
 
     name = "RPE"
+    #: The derived plan is one fixed operator sequence for every form.
+    plan_depends_on_form = False
 
     def __init__(self, narrow_positions: bool = True):
         self.narrow_positions = narrow_positions

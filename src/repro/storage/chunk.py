@@ -60,8 +60,21 @@ class ColumnChunk:
         return self.form.uncompressed_size_bytes()
 
     def decompress(self) -> Column:
-        """Materialise the chunk's values."""
+        """Materialise the chunk's values.
+
+        Decompression goes through the scheme's *compiled* plan: the
+        compiled artifact is cached by scheme structural signature
+        (:mod:`repro.columnar.compile`), so every chunk of a column encoded
+        with the same scheme executes the same optimized plan — the
+        per-chunk cost is execution only, never plan building or
+        optimization.
+        """
         return self.scheme.decompress(self.form)
+
+    def compiled_plan(self):
+        """The shared :class:`~repro.columnar.compile.executor.CompiledPlan`
+        this chunk decompresses through (one object per scheme signature)."""
+        return self.scheme.compiled_decompression_plan(self.form)
 
     def row_range(self) -> range:
         """Global row indices covered by this chunk."""

@@ -122,6 +122,28 @@ class StoredColumn:
         """Iterate over the chunks in row order."""
         return iter(self.chunks)
 
+    # ------------------------------------------------------------------ #
+    # Compiled-plan reuse across chunks
+    # ------------------------------------------------------------------ #
+
+    def warm_decompression_cache(self) -> int:
+        """Compile the decompression plan of every distinct chunk scheme.
+
+        Returns the number of *distinct* compiled plans backing this column
+        — typically 1 when all chunks share a scheme, even though there may
+        be thousands of chunks.  Calling this is optional (the first
+        decompression of each scheme compiles lazily); it exists so bulk
+        readers can front-load compilation before a timed scan.
+        """
+        distinct = {id(chunk.compiled_plan()) for chunk in self.chunks}
+        return len(distinct)
+
+    @staticmethod
+    def decompression_cache_info() -> dict:
+        """Statistics of the process-wide compiled-plan cache."""
+        from ..columnar.compile import cache_info
+        return cache_info()
+
     def materialize(self) -> Column:
         """Decompress the whole column into one :class:`Column`."""
         pieces = [chunk.decompress() for chunk in self.chunks]

@@ -1,0 +1,42 @@
+"""Smoke tests for the plan-compile benchmark and its JSON emission."""
+
+import json
+
+import pytest
+
+from repro.bench.plan_compile import measure_scheme, run_benchmark, write_bench_json
+from repro.schemes import RunLengthEncoding
+from repro.workloads import runs_column
+
+
+def test_measure_scheme_reports_consistent_row():
+    column = runs_column(4096 * 3, average_run_length=16.0,
+                         num_distinct_values=128, seed=1)
+    row = measure_scheme(RunLengthEncoding(), column, chunk_rows=4096, repeats=1)
+    assert row["rows"] == len(column)
+    assert row["chunks"] == 3
+    assert row["interpreted_s"] > 0 and row["compiled_s"] > 0
+    assert row["speedup"] == pytest.approx(
+        row["interpreted_s"] / row["compiled_s"], rel=1e-6)
+    assert row["optimized_steps"] <= row["plan_steps"]
+
+
+def test_write_bench_json(tmp_path):
+    path = tmp_path / "BENCH_plan_compile.json"
+    report = write_bench_json(str(path), quick=True, chunk_rows=1024)
+    on_disk = json.loads(path.read_text())
+    assert on_disk["benchmark"] == "plan_compile"
+    assert on_disk["quick"] is True
+    names = {row["name"] for row in on_disk["rows"]}
+    # The acceptance-gate pair must always be present.
+    assert {"RLE", "FOR"} <= names
+    for row in on_disk["rows"]:
+        assert row["speedup"] > 0
+        assert row["compiled_mvalues_per_s"] > 0
+    assert report["cache"]["scheme_misses"] >= 1
+
+
+def test_run_benchmark_rows_cover_matrix():
+    report = run_benchmark(quick=True, chunk_rows=1024)
+    assert len(report["rows"]) >= 5
+    assert all("workload" in row for row in report["rows"])

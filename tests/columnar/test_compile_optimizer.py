@@ -1,0 +1,252 @@
+"""Tests for the plan optimizer's rewrite passes."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.columnar.compile import (
+    eliminate_common_subplans,
+    fold_param_refs,
+    fuse_elementwise_chains,
+    optimize,
+    optimize_with_report,
+    reduce_scans_over_generators,
+    scalarize_constant_operands,
+)
+from repro.columnar.compile.optimizer import deterministic_steps
+from repro.columnar.plan import LengthOf, Plan, PlanBuilder, PlanStep, ScalarAt
+from repro.schemes.for_ import build_for_decompression_plan
+from repro.schemes.rle import build_rle_decompression_plan
+
+
+def _ops(plan):
+    return [step.op for step in plan.steps]
+
+
+class TestDeadStepElimination:
+    def test_unused_step_and_input_are_dropped(self):
+        b = PlanBuilder(["a", "b"])
+        b.step("used", "PrefixSum", col="a")
+        b.step("unused", "PrefixSum", col="b")
+        plan = b.build("used")
+        optimized = optimize(plan)
+        assert _ops(optimized) == ["PrefixSum"]
+        assert optimized.inputs == ("a",)
+
+    def test_optimized_inputs_are_subset(self):
+        plan = build_rle_decompression_plan()
+        optimized = optimize(plan)
+        assert set(optimized.inputs) <= set(plan.inputs)
+
+
+class TestParamRefFolding:
+    def test_lengthof_generator_folds(self):
+        b = PlanBuilder([])
+        b.step("zeros", "Zeros", length=16)
+        b.step("ones", "Ones", length=LengthOf("zeros"))
+        plan = fold_param_refs(b.build("ones"))
+        ones = plan.steps[1]
+        assert ones.params["length"] == 16
+        assert not ones.dependencies()
+
+    def test_scalarat_on_iota_folds(self):
+        b = PlanBuilder([])
+        b.step("idx", "Iota", length=10, start=5, step=2)
+        b.step("zeros", "Zeros", length=ScalarAt("idx", -1))
+        plan = fold_param_refs(b.build("zeros"))
+        assert plan.steps[1].params["length"] == 5 + 2 * 9
+
+    def test_runtime_lengths_are_left_alone(self):
+        plan = build_rle_decompression_plan()
+        folded = fold_param_refs(plan)
+        # All RLE lengths derive from runtime inputs; nothing can fold.
+        assert any(isinstance(step.params.get("length"), LengthOf)
+                   for step in folded.steps)
+
+    def test_folding_preserves_result(self):
+        b = PlanBuilder(["data"])
+        b.step("c", "Constant", value=3, length=8)
+        b.step("n", "Zeros", length=ScalarAt("c", 0))
+        b.step("out", "Scatter", values="data", indices="data", base="n")
+        plan = b.build("out")
+        data = Column([0, 1, 2])
+        assert optimize(plan).evaluate({"data": data}) \
+            .equals(plan.evaluate({"data": data}))
+
+
+class TestScalarization:
+    def test_constant_operand_becomes_scalar(self):
+        b = PlanBuilder(["x"])
+        b.step("c", "Constant", value=7, length=LengthOf("x"))
+        b.step("out", "Elementwise", op="*", left="x", right="c")
+        plan = optimize(b.build("out"))
+        assert _ops(plan) == ["Elementwise"]  # the constant column is gone
+        x = Column([1, 2, 3])
+        assert plan.evaluate({"x": x}).to_pylist() == [7, 14, 21]
+
+    def test_one_column_operand_is_kept(self):
+        b = PlanBuilder([])
+        b.step("a", "Constant", value=2, length=4)
+        b.step("b", "Constant", value=3, length=4)
+        b.step("out", "Elementwise", op="+", left="a", right="b")
+        plan = scalarize_constant_operands(b.build("out"))
+        out = plan.steps[-1]
+        assert len(out.column_inputs) == 1  # length stays anchored to a column
+        assert optimize(b.build("out")).evaluate({}).to_pylist() == [5, 5, 5, 5]
+
+
+class TestScanStrengthReduction:
+    def test_prefix_sum_of_ones_becomes_iota(self):
+        b = PlanBuilder([])
+        b.step("ones", "Ones", length=9)
+        b.step("pos", "PrefixSum", col="ones")
+        plan = optimize(b.build("pos"))
+        assert _ops(plan) == ["Iota"]
+        assert plan.evaluate({}).to_pylist() == list(range(1, 10))
+
+    def test_exclusive_prefix_sum_of_ones_becomes_iota(self):
+        b = PlanBuilder([])
+        b.step("ones", "Ones", length=5)
+        b.step("pos", "ExclusivePrefixSum", col="ones", initial=3)
+        plan = optimize(b.build("pos"))
+        assert _ops(plan) == ["Iota"]
+        assert plan.evaluate({}).to_pylist() == [3, 4, 5, 6, 7]
+
+    def test_prefix_sum_of_zeros_becomes_constant(self):
+        b = PlanBuilder([])
+        b.step("z", "Zeros", length=4)
+        b.step("pos", "PrefixSum", col="z")
+        plan = reduce_scans_over_generators(b.build("pos"))
+        assert plan.steps[-1].op == "Constant"
+        assert plan.evaluate({}).to_pylist() == [0, 0, 0, 0]
+
+    def test_faithful_for_plan_reduces_to_iota_variant(self):
+        faithful = build_for_decompression_plan(64, offsets_params=None,
+                                                faithful_to_paper=True)
+        optimized = optimize(faithful)
+        counts = optimized.operator_counts()
+        assert "ExclusivePrefixSum" not in counts
+        assert "Ones" not in counts
+        assert "Constant" not in counts
+
+
+class TestCommonSubplanElimination:
+    def test_duplicate_steps_are_merged(self):
+        b = PlanBuilder(["x"])
+        b.step("a", "PrefixSum", col="x")
+        b.step("b", "PrefixSum", col="x")
+        b.step("out", "Elementwise", op="+", left="a", right="b")
+        plan = eliminate_common_subplans(b.build("out"))
+        assert _ops(plan) == ["PrefixSum", "Elementwise"]
+        x = Column([1, 2, 3])
+        assert plan.evaluate({"x": x}).to_pylist() == [2, 6, 12]
+
+    def test_cse_cascades_through_renames(self):
+        b = PlanBuilder(["x"])
+        b.step("a1", "PrefixSum", col="x")
+        b.step("a2", "PrefixSum", col="x")
+        b.step("b1", "PrefixSum", col="a1")
+        b.step("b2", "PrefixSum", col="a2")  # duplicate only after a2 -> a1
+        b.step("out", "Elementwise", op="+", left="b1", right="b2")
+        plan = eliminate_common_subplans(b.build("out"))
+        assert _ops(plan) == ["PrefixSum", "PrefixSum", "Elementwise"]
+
+    def test_output_step_deduplication_renames_output(self):
+        b = PlanBuilder(["x"])
+        b.step("a", "PrefixSum", col="x")
+        b.step("out", "PrefixSum", col="x")
+        plan = eliminate_common_subplans(b.build("out"))
+        assert plan.output == "a"
+
+
+class TestRegionFusion:
+    def test_linear_chain_fuses(self):
+        b = PlanBuilder(["x"])
+        b.step("a", "Elementwise", op="*", left="x", right=2)
+        b.step("out", "Elementwise", op="+", left="a", right=1)
+        plan = fuse_elementwise_chains(b.build("out"))
+        assert _ops(plan) == ["FusedElementwise"]
+        x = Column([1, 2, 3])
+        assert plan.evaluate({"x": x}).to_pylist() == [3, 5, 7]
+
+    def test_dag_region_fuses(self):
+        b = PlanBuilder(["x"])
+        b.step("sq", "Elementwise", op="*", left="x", right="x")
+        b.step("out", "Elementwise", op="+", left="sq", right="sq")
+        plan = fuse_elementwise_chains(b.build("out"))
+        assert _ops(plan) == ["FusedElementwise"]
+        assert plan.evaluate({"x": Column([1, 2, 3])}).to_pylist() == [2, 8, 18]
+
+    def test_multi_consumer_intermediate_blocks_fusion(self):
+        b = PlanBuilder(["x"])
+        b.step("a", "Elementwise", op="*", left="x", right=2)
+        b.step("out", "Elementwise", op="+", left="a", right=1)
+        b.step("other", "PrefixSum", col="a")  # second consumer, not fusable
+        b.step("final", "Elementwise", op="+", left="out", right="other")
+        plan = fuse_elementwise_chains(b.build("final"))
+        # "a" must stay materialised for the PrefixSum.
+        assert "a" in [step.output for step in plan.steps]
+
+    def test_gather_fuses_into_region(self):
+        b = PlanBuilder(["values", "indices", "offsets"])
+        b.step("g", "Gather", values="values", indices="indices")
+        b.step("out", "Elementwise", op="+", left="g", right="offsets")
+        plan = fuse_elementwise_chains(b.build("out"))
+        assert _ops(plan) == ["FusedElementwise"]
+        result = plan.evaluate({
+            "values": Column([10, 20, 30]),
+            "indices": Column([2, 0]),
+            "offsets": Column([1, 1]),
+        })
+        assert result.to_pylist() == [31, 11]
+
+    def test_plan_output_is_never_fused_away(self):
+        b = PlanBuilder(["x"])
+        b.step("a", "Elementwise", op="*", left="x", right=2)
+        b.step("out", "Elementwise", op="+", left="a", right=1)
+        plan = fuse_elementwise_chains(b.build("a"))
+        # "a" is the output; the chain must not swallow it.
+        assert "a" in [step.output for step in plan.steps]
+
+    def test_zigzag_fuses(self):
+        b = PlanBuilder(["x", "base"])
+        b.step("dec", "ZigZagDecode", col="x")
+        b.step("out", "Elementwise", op="+", left="base", right="dec")
+        plan = fuse_elementwise_chains(b.build("out"))
+        assert _ops(plan) == ["FusedElementwise"]
+        encoded = Column(np.array([0, 1, 2, 3], dtype=np.uint64))
+        result = plan.evaluate({"x": encoded, "base": Column([0, 0, 0, 0])})
+        assert result.to_pylist() == [0, -1, 1, -2]
+
+
+class TestDeterministicSteps:
+    def test_generators_and_derived_steps_are_deterministic(self):
+        b = PlanBuilder(["data"])
+        b.step("idx", "Iota", length=100)
+        b.step("seg", "Elementwise", op="//", left="idx", right=10)
+        b.step("out", "Gather", values="data", indices="seg")
+        det = deterministic_steps(b.build("out"))
+        assert set(det) == {"idx", "seg"}
+
+    def test_paramref_breaks_determinism(self):
+        b = PlanBuilder(["data"])
+        b.step("idx", "Iota", length=LengthOf("data"))
+        det = deterministic_steps(b.build("idx"))
+        assert det == {}
+
+
+class TestPipeline:
+    def test_report_counts_passes(self):
+        plan = build_for_decompression_plan(64, offsets_params=None,
+                                            faithful_to_paper=True)
+        optimized, report = optimize_with_report(plan)
+        assert report.original_steps == len(plan.steps)
+        assert report.optimized_steps == len(optimized.steps)
+        assert report.steps_removed > 0
+        assert [name for name, _, _ in report.passes]
+
+    def test_optimizing_twice_is_stable(self):
+        plan = build_rle_decompression_plan()
+        once = optimize(plan)
+        twice = optimize(once)
+        assert _ops(once) == _ops(twice)

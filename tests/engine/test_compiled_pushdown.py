@@ -1,0 +1,95 @@
+"""Tests for partial evaluation through the compiled executor in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.engine.operators import filter_table
+from repro.engine.predicates import Between
+from repro.engine.pushdown import point_lookup_on_runs, run_positions_of
+from repro.errors import QueryError
+from repro.planner.partial import plan_for_intent
+from repro.schemes import FrameOfReference, RunLengthEncoding, RunPositionEncoding
+from repro.storage.table import Table
+from repro.workloads import runs_column
+
+
+@pytest.fixture
+def runs(runs_data):
+    return runs_data
+
+
+class TestRunPositions:
+    def test_rle_positions_match_rpe(self, runs):
+        rle_form = RunLengthEncoding(narrow_lengths=False).compress(runs)
+        rpe_form = RunPositionEncoding(narrow_positions=False).compress(runs)
+        assert np.array_equal(run_positions_of(rle_form),
+                              run_positions_of(rpe_form))
+
+    def test_point_lookup_matches_decompressed(self, runs):
+        form = RunLengthEncoding().compress(runs)
+        values = runs.values
+        for row in (0, 1, len(runs) // 2, len(runs) - 1):
+            value, stats = point_lookup_on_runs(form, row)
+            assert value == int(values[row])
+            assert stats.rows_decoded == 1
+
+    def test_point_lookup_out_of_range(self, runs):
+        form = RunLengthEncoding().compress(runs)
+        with pytest.raises(QueryError):
+            point_lookup_on_runs(form, len(runs))
+
+
+class TestPartialPlanExecution:
+    def test_rle_point_lookup_strategy_runs_one_step(self, runs):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs)
+        decision = plan_for_intent(scheme, form, "point_lookup")
+        assert decision.strategy == "partial"
+        positions = decision.execute(scheme, form)
+        assert positions.to_pylist() == \
+            np.cumsum(form.constituent("lengths").values).tolist()
+
+    def test_for_approximate_strategy_stops_before_offsets(self):
+        column = runs_column(4096, average_run_length=16.0,
+                             num_distinct_values=64, seed=9)
+        scheme = FrameOfReference(segment_length=128)
+        form = scheme.compress(column)
+        decision = plan_for_intent(scheme, form, "approximate_aggregate")
+        assert decision.strategy == "partial"
+        model = decision.execute(scheme, form)
+        refs = form.constituent("refs").values
+        seg = np.arange(len(column)) // 128
+        assert np.array_equal(model.values.astype(np.int64), refs[seg])
+
+    def test_full_strategy_executes_whole_plan(self, runs):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs)
+        decision = plan_for_intent(scheme, form, "full_scan")
+        assert decision.execute(scheme, form).equals(
+            Column(runs.values.astype(np.int64)))
+
+    def test_none_strategy_returns_none(self, runs):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(runs)
+        decision = plan_for_intent(scheme, form, "range_aggregate")
+        assert decision.strategy == "none"
+        assert decision.execute(scheme, form) is None
+
+
+class TestScanCacheAccounting:
+    def test_filter_table_reports_plan_cache_reuse(self):
+        column = runs_column(50_000, average_run_length=4.0,
+                             num_distinct_values=5000, seed=21)
+        table = Table.from_columns({"v": column}, schemes={"v": RunLengthEncoding()},
+                                   chunk_size=4096)
+        lo = int(np.quantile(column.values, 0.2))
+        hi = int(np.quantile(column.values, 0.8))
+        # Disable pushdown so every chunk actually decompresses.
+        selection, stats = filter_table(table, Between("v", lo, hi),
+                                        use_pushdown=False, use_zone_maps=False)
+        assert stats.chunks_decompressed == stats.chunks_total > 1
+        # All chunks share one compiled plan: at most one miss.
+        assert stats.plan_cache_hits >= stats.chunks_total - 1
+        mask = (column.values >= lo) & (column.values <= hi)
+        assert len(selection) == int(mask.sum())

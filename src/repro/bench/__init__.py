@@ -2,7 +2,10 @@
 
 :mod:`repro.bench.plan_compile` additionally provides the interpreted-vs-
 compiled decompression benchmark (``python -m repro.bench.plan_compile``),
-which writes ``BENCH_plan_compile.json`` for cross-PR perf tracking.
+and :mod:`repro.bench.scan_pipeline` the seed-scan-vs-chunk-parallel-
+scheduler benchmark (``python -m repro.bench.scan_pipeline``); they write
+``BENCH_plan_compile.json`` / ``BENCH_scan_pipeline.json`` for cross-PR
+perf tracking.
 """
 
 from .harness import (

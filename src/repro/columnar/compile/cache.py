@@ -14,13 +14,16 @@ the whole stack:
   entirely.  All chunks of a stored column encoded with the same scheme
   share one compiled plan through this cache.
 
-Both caches are process-wide, bounded (FIFO eviction), and assume the
-default operator registry; callers using a custom registry should compile
-explicitly via :func:`~repro.columnar.compile.executor.compile_plan`.
+Both caches are process-wide, bounded (FIFO eviction), thread-safe (the
+chunk-parallel scan scheduler compiles and reads through them from worker
+threads), and assume the default operator registry; callers using a custom
+registry should compile explicitly via
+:func:`~repro.columnar.compile.executor.compile_plan`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Tuple
 
@@ -58,6 +61,10 @@ class PlanCompileCache:
         self.plan_misses = 0
         self.scheme_hits = 0
         self.scheme_misses = 0
+        #: Reentrant: ``compiled_for_scheme`` takes it and then calls
+        #: ``compiled`` which takes it again.  Compilation happens inside the
+        #: lock, so two threads racing on a cold key compile once.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
 
@@ -70,14 +77,15 @@ class PlanCompileCache:
     def compiled(self, plan: Plan) -> CompiledPlan:
         """The compiled form of *plan*, compiling on first sight."""
         key = plan_signature(plan)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self.plan_hits += 1
-            return cached
-        self.plan_misses += 1
-        compiled = compile_plan(plan, registry=self.registry)
-        self._store(self._plans, key, compiled)
-        return compiled
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self.plan_hits += 1
+                return cached
+            self.plan_misses += 1
+            compiled = compile_plan(plan, registry=self.registry)
+            self._store(self._plans, key, compiled)
+            return compiled
 
     def compiled_partial(self, plan: Plan, stop_after: str) -> CompiledPlan:
         """The compiled form of *plan* truncated at binding *stop_after*.
@@ -100,33 +108,36 @@ class PlanCompileCache:
         key = scheme.plan_cache_key(form)
         if key is None:
             return self.compiled(scheme.decompression_plan(form))
-        cached = self._schemes.get(key)
-        if cached is not None:
-            self.scheme_hits += 1
-            return cached
-        self.scheme_misses += 1
-        compiled = self.compiled(scheme.decompression_plan(form))
-        self._store(self._schemes, key, compiled)
-        return compiled
+        with self._lock:
+            cached = self._schemes.get(key)
+            if cached is not None:
+                self.scheme_hits += 1
+                return cached
+            self.scheme_misses += 1
+            compiled = self.compiled(scheme.decompression_plan(form))
+            self._store(self._schemes, key, compiled)
+            return compiled
 
     # ------------------------------------------------------------------ #
 
     def info(self) -> Dict[str, int]:
         """Hit/miss/size statistics of both cache levels."""
-        return {
-            "plan_hits": self.plan_hits,
-            "plan_misses": self.plan_misses,
-            "plan_entries": len(self._plans),
-            "scheme_hits": self.scheme_hits,
-            "scheme_misses": self.scheme_misses,
-            "scheme_entries": len(self._schemes),
-        }
+        with self._lock:
+            return {
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "plan_entries": len(self._plans),
+                "scheme_hits": self.scheme_hits,
+                "scheme_misses": self.scheme_misses,
+                "scheme_entries": len(self._schemes),
+            }
 
     def clear(self) -> None:
-        self._plans.clear()
-        self._schemes.clear()
-        self.plan_hits = self.plan_misses = 0
-        self.scheme_hits = self.scheme_misses = 0
+        with self._lock:
+            self._plans.clear()
+            self._schemes.clear()
+            self.plan_hits = self.plan_misses = 0
+            self.scheme_hits = self.scheme_misses = 0
 
 
 #: The process-wide cache used by the scheme, storage and engine layers.

@@ -23,6 +23,7 @@ flags, so the fast path pays for neither.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -62,6 +63,9 @@ _GENERATED_CACHE_MAX_BYTES = 128 * (1 << 20)
 _generated_cache_bytes = 0
 _generated_cache_hits = 0
 _generated_cache_misses = 0
+#: Guards the cache's recency order, byte accounting and eviction loop —
+#: compiled plans execute concurrently under the chunk-parallel scanner.
+_generated_cache_lock = threading.Lock()
 
 
 def _generated_cache_key(op: str, kwargs: Mapping[str, Any]) -> Optional[Tuple]:
@@ -83,20 +87,26 @@ def _generated_cache_key(op: str, kwargs: Mapping[str, Any]) -> Optional[Tuple]:
 
 def _note_cache_hit(key: Tuple) -> None:
     global _generated_cache_hits
-    _GENERATED_CACHE.move_to_end(key)
-    _generated_cache_hits += 1
+    with _generated_cache_lock:
+        if key in _GENERATED_CACHE:
+            _GENERATED_CACHE.move_to_end(key)
+        _generated_cache_hits += 1
 
 
 def _store_generated(key: Tuple, column: Column) -> None:
     global _generated_cache_bytes, _generated_cache_misses
-    _generated_cache_misses += 1
-    _GENERATED_CACHE[key] = column
-    _generated_cache_bytes += column.nbytes
-    while (_GENERATED_CACHE
-           and (len(_GENERATED_CACHE) > _GENERATED_CACHE_MAX_ENTRIES
-                or _generated_cache_bytes > _GENERATED_CACHE_MAX_BYTES)):
-        _, evicted = _GENERATED_CACHE.popitem(last=False)
-        _generated_cache_bytes -= evicted.nbytes
+    with _generated_cache_lock:
+        _generated_cache_misses += 1
+        previous = _GENERATED_CACHE.get(key)
+        if previous is not None:
+            _generated_cache_bytes -= previous.nbytes
+        _GENERATED_CACHE[key] = column
+        _generated_cache_bytes += column.nbytes
+        while (_GENERATED_CACHE
+               and (len(_GENERATED_CACHE) > _GENERATED_CACHE_MAX_ENTRIES
+                    or _generated_cache_bytes > _GENERATED_CACHE_MAX_BYTES)):
+            __, evicted = _GENERATED_CACHE.popitem(last=False)
+            _generated_cache_bytes -= evicted.nbytes
 
 
 def _generated_column(op: str, func, kwargs: Dict[str, Any]) -> Column:
@@ -126,10 +136,11 @@ def generated_column_cache_info() -> Dict[str, int]:
 def clear_generated_column_cache() -> None:
     """Empty the generated-column cache and reset its statistics."""
     global _generated_cache_bytes, _generated_cache_hits, _generated_cache_misses
-    _GENERATED_CACHE.clear()
-    _generated_cache_bytes = 0
-    _generated_cache_hits = 0
-    _generated_cache_misses = 0
+    with _generated_cache_lock:
+        _GENERATED_CACHE.clear()
+        _generated_cache_bytes = 0
+        _generated_cache_hits = 0
+        _generated_cache_misses = 0
 
 
 # --------------------------------------------------------------------------- #

@@ -155,8 +155,20 @@ def adjacent_difference(col: Column, name: Optional[str] = None) -> Column:
     [3, 1, 2]
     """
     arr = col.values
-    out = np.empty(len(arr), dtype=np.result_type(arr.dtype, np.int64)
-                   if np.issubdtype(arr.dtype, np.integer) else arr.dtype)
+    if not np.issubdtype(arr.dtype, np.integer):
+        out_dtype = arr.dtype
+    elif arr.dtype == np.uint64:
+        # result_type(uint64, int64) is float64, which would silently turn
+        # an integer column into floats; stay in uint64, where the wrapping
+        # subtraction is exactly inverted by a uint64 prefix sum.
+        out_dtype = np.uint64
+    else:
+        out_dtype = np.result_type(arr.dtype, np.int64)
+    # Subtract in the output dtype: with a narrower input dtype NumPy would
+    # otherwise compute the difference in the input's arithmetic (wrapping
+    # e.g. uint8 2-5 to 253) and only then cast.
+    arr = arr.astype(out_dtype, copy=False)
+    out = np.empty(len(arr), dtype=out_dtype)
     if len(arr):
         out[0] = arr[0]
         np.subtract(arr[1:], arr[:-1], out=out[1:])

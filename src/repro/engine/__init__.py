@@ -33,6 +33,7 @@ from .operators import (
     project,
 )
 from .query import Query, QueryResult, join_tables
+from .scan import ScanResult, gather_rows, scan_table
 
 __all__ = [
     "Predicate",
@@ -59,6 +60,9 @@ __all__ = [
     "Query",
     "QueryResult",
     "join_tables",
+    "ScanResult",
+    "scan_table",
+    "gather_rows",
     "ApproximateAnswer",
     "approximate_sum",
     "approximate_mean",

@@ -15,27 +15,38 @@ to keep the "decompression is query execution" point front and centre.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
 from ..columnar.column import Column, concat_columns
 from ..errors import QueryError
-from ..storage.chunk import ColumnChunk
 from ..storage.table import Table
-from .predicates import Between, Predicate, RangeBounds
-from .pushdown import PushdownStats, range_mask_on_form
+from .predicates import Predicate
+from .pushdown import PushdownStats
 
 
 @dataclass
 class ScanStats:
-    """Accounting of what a scan touched (drives experiments E9/E10)."""
+    """Accounting of what a scan touched (drives experiments E9/E10).
+
+    Since the chunk-parallel scheduler (:mod:`repro.engine.scan`) these
+    counters are merged over **all** conjuncts of a multi-predicate scan:
+    ``chunks_total`` counts (predicate, chunk) evaluation slots, of which
+    ``chunks_short_circuited`` were never evaluated because an earlier
+    conjunct had already emptied the chunk's surviving-position set.
+    ``chunks_decompressed`` counts actual decompressions — conjuncts sharing
+    a column share one decompression per chunk, so it is bounded by the
+    number of distinct (column, chunk) pairs, not by the conjunct count.
+    """
 
     chunks_total: int = 0
     chunks_skipped: int = 0
     chunks_fully_accepted: int = 0
     chunks_pushed_down: int = 0
     chunks_decompressed: int = 0
+    chunks_short_circuited: int = 0
+    predicates_total: int = 0
     rows_scanned: int = 0
     rows_selected: int = 0
     #: Compiled-plan cache traffic attributable to this scan: ``hits`` counts
@@ -54,6 +65,22 @@ class ScanStats:
         self.pushdown.segments_skipped += stats.segments_skipped
         self.pushdown.segments_accepted += stats.segments_accepted
         self.pushdown.runs_total += stats.runs_total
+
+    def merge(self, other: "ScanStats") -> None:
+        """Accumulate *other* into this instance (used by the scan scheduler
+        to combine per-chunk-range partial stats deterministically)."""
+        self.chunks_total += other.chunks_total
+        self.chunks_skipped += other.chunks_skipped
+        self.chunks_fully_accepted += other.chunks_fully_accepted
+        self.chunks_pushed_down += other.chunks_pushed_down
+        self.chunks_decompressed += other.chunks_decompressed
+        self.chunks_short_circuited += other.chunks_short_circuited
+        self.predicates_total += other.predicates_total
+        self.rows_scanned += other.rows_scanned
+        self.rows_selected += other.rows_selected
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        self.merge_pushdown(other.pushdown)
 
 
 @dataclass
@@ -86,58 +113,21 @@ class SelectionVector:
 
 def filter_table(table: Table, predicate: Predicate,
                  use_pushdown: bool = True,
-                 use_zone_maps: bool = True) -> Tuple[SelectionVector, ScanStats]:
+                 use_zone_maps: bool = True,
+                 parallelism: int = 1) -> Tuple[SelectionVector, ScanStats]:
     """Evaluate *predicate* over its column, returning qualifying row positions.
 
     Evaluation order per chunk: zone-map decision first (skip / accept the
     whole chunk), then compressed-form pushdown when available and enabled,
-    then decompress-and-compare as the fallback.
+    then decompress-and-compare as the fallback.  This is the single-predicate
+    entry point of the chunk-parallel scheduler in :mod:`repro.engine.scan`.
     """
-    from ..columnar.compile import cache_info
+    from .scan import scan_table
 
-    stored = table.column(predicate.column_name)
-    stats = ScanStats(chunks_total=stored.num_chunks)
-    selections: List[SelectionVector] = []
-    cache_before = cache_info()
-
-    for chunk in stored.iter_chunks():
-        stats.rows_scanned += chunk.row_count
-        decision = predicate.chunk_decision(chunk.statistics) if use_zone_maps else None
-        if decision is False:
-            stats.chunks_skipped += 1
-            continue
-        if decision is True:
-            stats.chunks_fully_accepted += 1
-            positions = np.arange(chunk.row_offset,
-                                  chunk.row_offset + chunk.row_count, dtype=np.int64)
-            selections.append(SelectionVector(Column(positions)))
-            stats.rows_selected += chunk.row_count
-            continue
-
-        mask = None
-        if use_pushdown and isinstance(predicate, Between):
-            bounds = RangeBounds(predicate.bounds.low, predicate.bounds.high)
-            pushed = range_mask_on_form(chunk.form, bounds)
-            if pushed is not None:
-                mask_column, push_stats = pushed
-                mask = mask_column.values
-                stats.chunks_pushed_down += 1
-                stats.merge_pushdown(push_stats)
-
-        if mask is None:
-            stats.chunks_decompressed += 1
-            values = chunk.decompress()
-            mask = predicate.evaluate(values).values
-
-        selection = SelectionVector.from_mask(mask, chunk.row_offset)
-        stats.rows_selected += len(selection)
-        selections.append(selection)
-
-    cache_after = cache_info()
-    stats.plan_cache_hits = (cache_after["scheme_hits"] - cache_before["scheme_hits"]
-                             + cache_after["plan_hits"] - cache_before["plan_hits"])
-    stats.plan_cache_misses = cache_after["plan_misses"] - cache_before["plan_misses"]
-    return SelectionVector.concatenate(selections), stats
+    result = scan_table(table, [predicate], use_pushdown=use_pushdown,
+                        use_zone_maps=use_zone_maps, parallelism=parallelism)
+    assert result.stats is not None
+    return result.selection, result.stats
 
 
 # --------------------------------------------------------------------------- #
@@ -145,9 +135,18 @@ def filter_table(table: Table, predicate: Predicate,
 # --------------------------------------------------------------------------- #
 
 def project(table: Table, selection: SelectionVector,
-            columns: Iterable[str]) -> Dict[str, Column]:
-    """Materialise the requested columns at the selected row positions."""
-    return table.materialize_rows(selection.positions, names=columns)
+            columns: Iterable[str], parallelism: int = 1) -> Dict[str, Column]:
+    """Materialise the requested columns at the selected row positions.
+
+    Gathering goes through :func:`repro.engine.scan.gather_rows`: positions
+    are bucketed per chunk with one ``searchsorted`` and untouched chunks are
+    never decompressed; ``parallelism > 1`` fans the chunk gathers out.
+    """
+    from .scan import gather_rows
+
+    return {name: gather_rows(table.column(name), selection.positions,
+                              parallelism=parallelism)
+            for name in columns}
 
 
 # --------------------------------------------------------------------------- #
@@ -167,8 +166,11 @@ def aggregate(values: Column, how: str):
         raise QueryError(f"aggregate {how!r} over zero rows")
     data = values.values
     if how == "sum":
-        return int(data.sum(dtype=np.int64)) if np.issubdtype(data.dtype, np.integer) \
-            else float(data.sum())
+        if np.issubdtype(data.dtype, np.unsignedinteger):
+            return int(data.sum(dtype=np.uint64))
+        if np.issubdtype(data.dtype, np.integer):
+            return int(data.sum(dtype=np.int64))
+        return float(data.sum())
     if how == "min":
         return data.min().item()
     if how == "max":
@@ -193,20 +195,32 @@ def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
     if how == "count":
         result = np.bincount(codes, minlength=unique_keys.size)
     elif how == "sum":
-        result = np.bincount(codes, weights=data.astype(np.float64),
-                             minlength=unique_keys.size)
         if np.issubdtype(data.dtype, np.integer):
-            result = np.rint(result).astype(np.int64)
+            # bincount's float64 weights lose integer precision above 2^53;
+            # accumulate in the value's own integer family instead.
+            accumulator = np.uint64 if np.issubdtype(data.dtype, np.unsignedinteger) \
+                else np.int64
+            result = np.zeros(unique_keys.size, dtype=accumulator)
+            np.add.at(result, codes, data.astype(accumulator))
+        else:
+            result = np.bincount(codes, weights=data.astype(np.float64),
+                                 minlength=unique_keys.size)
     elif how == "mean":
         sums = np.bincount(codes, weights=data.astype(np.float64),
                            minlength=unique_keys.size)
         counts = np.bincount(codes, minlength=unique_keys.size)
         result = sums / np.maximum(counts, 1)
     else:
-        fill = np.iinfo(np.int64).max if how == "min" else np.iinfo(np.int64).min
-        result = np.full(unique_keys.size, fill, dtype=np.int64)
+        if data.dtype == np.bool_:
+            fill = how == "min"  # identity of AND for min, of OR for max
+        elif np.issubdtype(data.dtype, np.integer):
+            info = np.iinfo(data.dtype)
+            fill = info.max if how == "min" else info.min
+        else:
+            fill = np.inf if how == "min" else -np.inf
+        result = np.full(unique_keys.size, fill, dtype=data.dtype)
         ufunc = np.minimum if how == "min" else np.maximum
-        ufunc.at(result, codes, data.astype(np.int64))
+        ufunc.at(result, codes, data)
     return {"key": Column(unique_keys, name="key"),
             "aggregate": Column(result, name=f"{how}")}
 

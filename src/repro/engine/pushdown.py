@@ -33,6 +33,7 @@ from ..model.fitting import segment_index
 from ..schemes import _residuals
 from ..schemes.base import CompressedForm
 from ..schemes.dict_ import DictionaryEncoding
+from ..schemes.for_ import saturating_segment_bounds
 from .predicates import RangeBounds
 
 
@@ -173,17 +174,20 @@ def sum_in_range_on_runs(form: CompressedForm, bounds: RangeBounds
 # --------------------------------------------------------------------------- #
 
 def _segment_value_bounds(form: CompressedForm) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-segment [low, high] value bounds derivable from the form alone."""
+    """Per-segment [low, high] value bounds derivable from the form alone.
+
+    The bound arithmetic saturates at the int64 limits (see
+    :func:`repro.schemes.for_.saturating_segment_bounds`) instead of clamping
+    the offset width: the old ``(1 << min(width, 62)) - 1`` span understated
+    the bounds of ``offsets_width >= 63`` segments, so wide-offset FOR
+    segments could be wrongly rejected (or wholesale-accepted) by pushdown.
+    """
     refs = form.constituent("refs").values.astype(np.int64)
     width = int(form.parameter("offsets_width", 64))
     zigzag = bool(form.parameter("offsets_zigzag", False))
     if form.scheme == "STEPFUNCTION":
         return refs, refs
-    span = (1 << min(width, 62)) - 1
-    if zigzag:
-        half = (span + 1) // 2
-        return refs - half, refs + half
-    return refs, refs + span
+    return saturating_segment_bounds(refs, width, zigzag)
 
 
 def range_mask_on_for(form: CompressedForm, bounds: RangeBounds

@@ -24,14 +24,12 @@ from ..errors import QueryError
 from ..storage.table import Table
 from .operators import (
     ScanStats,
-    SelectionVector,
     aggregate,
-    filter_table,
     group_by_aggregate,
     hash_join,
-    project,
 )
 from .predicates import Predicate
+from .scan import scan_table
 
 
 @dataclass
@@ -75,6 +73,7 @@ class Query:
         self._group_by: Optional[str] = None
         self._use_pushdown = True
         self._use_zone_maps = True
+        self._parallelism = 1
 
     # ------------------------------------------------------------------ #
     # Building
@@ -126,48 +125,61 @@ class Query:
         self._use_zone_maps = False
         return self
 
+    def with_parallelism(self, workers: int) -> "Query":
+        """Fan the scan's chunk ranges out over *workers* threads.
+
+        The NumPy kernels doing the per-chunk work release the GIL, and the
+        per-chunk results are merged in chunk order, so a parallel run
+        returns bit-identical results to the serial one.
+        """
+        if workers < 1:
+            raise QueryError(f"parallelism must be >= 1, got {workers}")
+        self._parallelism = int(workers)
+        return self
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
 
-    def _selection(self) -> Tuple[SelectionVector, Optional[ScanStats]]:
-        if not self._predicates:
-            return SelectionVector.all_rows(self._table.row_count), None
-        combined: Optional[SelectionVector] = None
-        stats: Optional[ScanStats] = None
-        for predicate in self._predicates:
-            selection, scan_stats = filter_table(
-                self._table, predicate,
-                use_pushdown=self._use_pushdown,
-                use_zone_maps=self._use_zone_maps,
-            )
-            stats = scan_stats if stats is None else stats
-            if combined is None:
-                combined = selection
-            else:
-                import numpy as np
-
-                merged = np.intersect1d(combined.positions.values,
-                                        selection.positions.values,
-                                        assume_unique=True)
-                combined = SelectionVector(Column(merged))
-        assert combined is not None
-        return combined, stats
+    def _needed_columns(self) -> List[str]:
+        """Columns the post-selection stages will read, without duplicates."""
+        needed: List[str] = []
+        if self._group_by is not None:
+            needed.append(self._group_by)
+        for column_name, __ in self._aggregates:
+            if column_name != "*":
+                needed.append(column_name)
+        if self._projection is not None:
+            needed.extend(self._projection)
+        elif not self._aggregates:
+            needed.extend(self._table.column_names)
+        return list(dict.fromkeys(needed))
 
     def run(self) -> QueryResult:
-        """Execute the query and return a :class:`QueryResult`."""
-        selection, stats = self._selection()
-        result = QueryResult(row_count=len(selection), scan_stats=stats)
+        """Execute the query and return a :class:`QueryResult`.
+
+        Selection, projection and the aggregates' input columns are produced
+        by **one** pass of the scan scheduler: the columns the later stages
+        need are gathered per chunk inside the scan itself (reusing any
+        values the predicates already decompressed) rather than in a second
+        full pass over the table.
+        """
+        scan = scan_table(self._table, self._predicates,
+                          use_pushdown=self._use_pushdown,
+                          use_zone_maps=self._use_zone_maps,
+                          parallelism=self._parallelism,
+                          materialize=self._needed_columns())
+        selection = scan.selection
+        result = QueryResult(row_count=len(selection), scan_stats=scan.stats)
 
         if self._group_by is not None:
             if not self._aggregates:
                 raise QueryError("group_by() requires at least one aggregate()")
-            keys = self._table.column(self._group_by).materialize_rows(selection.positions)
+            keys = scan.columns[self._group_by]
             for column_name, how in self._aggregates:
                 if column_name == "*":
                     column_name, how = self._group_by, "count"
-                values = self._table.column(column_name).materialize_rows(selection.positions)
-                grouped = group_by_aggregate(keys, values, how=how)
+                grouped = group_by_aggregate(keys, scan.columns[column_name], how=how)
                 result.columns[self._group_by] = grouped["key"].rename(self._group_by)
                 result.columns[f"{how}({column_name})"] = grouped["aggregate"]
             return result
@@ -176,13 +188,15 @@ class Query:
             if how == "count" and column_name == "*":
                 result.scalars["count(*)"] = len(selection)
                 continue
-            values = self._table.column(column_name).materialize_rows(selection.positions)
-            result.scalars[f"{how}({column_name})"] = aggregate(values, how)
+            result.scalars[f"{how}({column_name})"] = aggregate(
+                scan.columns[column_name], how)
 
         if self._projection is not None:
-            result.columns.update(project(self._table, selection, self._projection))
+            result.columns.update({name: scan.columns[name]
+                                   for name in self._projection})
         elif not self._aggregates:
-            result.columns.update(project(self._table, selection, self._table.column_names))
+            result.columns.update({name: scan.columns[name]
+                                   for name in self._table.column_names})
         return result
 
 

@@ -75,6 +75,34 @@ def build_for_decompression_plan(segment_length: int,
     return builder.build("decompressed")
 
 
+def saturating_segment_bounds(refs: np.ndarray, width: int,
+                              zigzag: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``[low, high]`` value bounds for offsets of *width* bits.
+
+    The bound *arithmetic* saturates at the int64 limits instead of clamping
+    the offset span: a ``width >= 63`` segment genuinely admits (almost) any
+    int64 value, so its bounds must widen to the domain limits rather than
+    silently understate the span (which made wide-offset segments eligible
+    for wrongful rejection — or wholesale acceptance — during pushdown).
+    Saturation also keeps ``refs ± span`` from overflowing for references
+    near the int64 limits.
+    """
+    top = np.iinfo(np.int64).max
+    bottom = np.iinfo(np.int64).min
+    if zigzag:
+        if width >= 63:
+            # Signed offsets cover the whole int64 range: refs bound nothing.
+            return (np.full(refs.shape, bottom, dtype=np.int64),
+                    np.full(refs.shape, top, dtype=np.int64))
+        half = 1 << (width - 1) if width else 0
+        low = np.clip(refs, bottom + half, None) - half
+        high = np.clip(refs, None, top - half) + half
+        return low, high
+    span = min((1 << width) - 1, top)
+    high = np.clip(refs, None, top - span) + span
+    return refs, high
+
+
 class FrameOfReference(CompressionScheme):
     """Segmented frame-of-reference encoding.
 
@@ -209,9 +237,4 @@ class FrameOfReference(CompressionScheme):
         refs = form.constituent("refs").values.astype(np.int64)
         width = int(form.parameter("offsets_width", 64))
         zigzag = bool(form.parameter("offsets_zigzag", False))
-        span = (1 << width) - 1
-        if zigzag:
-            # Signed offsets: magnitude bounded by span // 2 on either side.
-            half = (span + 1) // 2
-            return refs - half, refs + half
-        return refs, refs + span
+        return saturating_segment_bounds(refs, width, zigzag)

@@ -7,7 +7,7 @@ the table abstraction the examples and query engine work against.
 """
 
 from .chunk import ColumnChunk
-from .column_store import DEFAULT_CHUNK_SIZE, StoredColumn
+from .column_store import DEFAULT_CHUNK_SIZE, StoredColumn, gather_rows
 from .serialization import (
     read_form,
     read_stored_column,
@@ -20,6 +20,7 @@ from .statistics import ColumnStatistics, compute_statistics
 from .table import Table
 
 __all__ = [
+    "gather_rows",
     "ColumnChunk",
     "StoredColumn",
     "Table",

@@ -10,7 +10,8 @@ to push predicates down to chunk statistics and compressed forms.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -150,23 +151,60 @@ class StoredColumn:
         out = concat_columns(pieces, name=self.name)
         return out if out.dtype == self.dtype else out.astype(self.dtype)
 
-    def materialize_rows(self, positions: Column) -> Column:
+    def materialize_rows(self, positions: Column, parallelism: int = 1) -> Column:
         """Materialise only the given (sorted or unsorted) global row positions.
 
         Chunks not containing any requested position are never decompressed —
         the storage-level half of "there is no clear distinction between
-        decompression and query execution".
+        decompression and query execution".  The gather goes through
+        :func:`gather_rows` (the scan scheduler's materialisation half):
+        positions are bucketed per chunk with one ``searchsorted`` instead of
+        one boolean mask per chunk, and ``parallelism > 1`` fans the
+        per-chunk gathers out over a thread pool.
         """
-        pos = positions.values.astype(np.int64)
-        if pos.size and (pos.min() < 0 or pos.max() >= self.row_count):
-            raise StorageError("materialize_rows(): positions out of range")
-        result = np.empty(pos.size, dtype=self.dtype)
-        for chunk in self.chunks:
-            lo, hi = chunk.row_offset, chunk.row_offset + chunk.row_count
-            mask = (pos >= lo) & (pos < hi)
-            if not mask.any():
-                continue
-            local = pos[mask] - lo
-            values = chunk.decompress().values
-            result[mask] = values[local]
-        return Column(result, name=self.name)
+        return gather_rows(self, positions, parallelism=parallelism)
+
+
+def gather_rows(stored: StoredColumn, positions: Column,
+                parallelism: int = 1) -> Column:
+    """Materialise *stored* at the given global row positions.
+
+    Positions may be sorted or unsorted; the output preserves their order.
+    Positions are bucketed per chunk with a single ``searchsorted`` +
+    stable argsort, and only chunks containing at least one requested
+    position are decompressed.  With ``parallelism > 1`` the per-chunk
+    gathers fan out over a thread pool (each worker writes a disjoint slice
+    of the output).
+    """
+    pos = positions.values.astype(np.int64)
+    if pos.size and (pos.min() < 0 or pos.max() >= stored.row_count):
+        raise StorageError("materialize_rows(): positions out of range")
+    result = np.empty(pos.size, dtype=stored.dtype)
+    if pos.size == 0:
+        return Column(result, name=stored.name)
+
+    starts = np.asarray([chunk.row_offset for chunk in stored.chunks],
+                        dtype=np.int64)
+    chunk_of = np.searchsorted(starts, pos, side="right") - 1
+    order = np.argsort(chunk_of, kind="stable")
+    sorted_chunks = chunk_of[order]
+    hit_chunks = np.unique(sorted_chunks)
+    bounds = np.searchsorted(sorted_chunks, hit_chunks, side="left")
+    ends = np.append(bounds[1:], sorted_chunks.size)
+
+    def gather_one(task: Tuple[int, int, int]) -> None:
+        chunk_index, start, stop = task
+        chunk = stored.chunks[chunk_index]
+        take = order[start:stop]
+        values = chunk.decompress().values
+        result[take] = values[pos[take] - chunk.row_offset]
+
+    tasks = [(int(ci), int(s), int(e))
+             for ci, s, e in zip(hit_chunks, bounds, ends)]
+    if parallelism > 1 and len(tasks) > 1:
+        with ThreadPoolExecutor(max_workers=parallelism) as pool:
+            list(pool.map(gather_one, tasks))
+    else:
+        for task in tasks:
+            gather_one(task)
+    return Column(result, name=stored.name)

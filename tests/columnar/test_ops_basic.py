@@ -143,6 +143,24 @@ class TestElementwise:
     def test_adjacent_difference_empty(self):
         assert len(ops.adjacent_difference(Column.empty())) == 0
 
+    def test_adjacent_difference_uint64_stays_integer(self):
+        """Regression: result_type(uint64, int64) is float64, so uint64
+        columns silently came back as floats (and lost precision)."""
+        big = (1 << 62) + 3
+        out = ops.adjacent_difference(Column(np.array([big, big + 5], dtype=np.uint64)))
+        assert out.dtype == np.uint64
+        assert out.to_pylist() == [big, 5]
+
+    def test_adjacent_difference_uint64_inverts_uint64_prefix_sum(self):
+        data = Column(np.array([(1 << 60) + 1, 2, 7], dtype=np.uint64))
+        summed = ops.prefix_sum(data, dtype=np.uint64)
+        assert ops.adjacent_difference(summed).to_pylist() == data.to_pylist()
+
+    def test_adjacent_difference_small_ints_still_promote(self):
+        out = ops.adjacent_difference(Column(np.array([5, 2], dtype=np.uint8)))
+        assert out.dtype == np.int64
+        assert out.to_pylist() == [5, -3]
+
 
 class TestReduction:
     def test_sum(self):

@@ -117,6 +117,56 @@ class TestAggregates:
         with pytest.raises(QueryError):
             group_by_aggregate(Column([1]), Column([1, 2]))
 
+    def test_group_by_min_max_float_values(self):
+        """Regression: min/max used an int64 accumulator, truncating floats —
+        min of [0.5, 0.25] came back as 0."""
+        keys = Column([1, 1, 2])
+        values = Column(np.array([0.5, 0.25, -1.75]))
+        low = group_by_aggregate(keys, values, "min")["aggregate"]
+        high = group_by_aggregate(keys, values, "max")["aggregate"]
+        assert low.to_pylist() == [0.25, -1.75]
+        assert high.to_pylist() == [0.5, -1.75]
+        assert np.issubdtype(low.dtype, np.floating)
+
+    def test_group_by_min_max_preserves_value_dtype(self):
+        out = group_by_aggregate(Column([1, 1]), Column(np.array([3, 9], dtype=np.int32)),
+                                 "max")["aggregate"]
+        assert out.to_pylist() == [9]
+        assert np.issubdtype(out.dtype, np.integer)
+
+    def test_group_by_sum_large_integers_exact(self):
+        """Regression: integer sums were routed through float64 bincount
+        weights + rint, losing precision above 2^53 — sum of [2^60, 1]
+        came back as 2^60."""
+        keys = Column([7, 7])
+        values = Column(np.array([1 << 60, 1], dtype=np.int64))
+        out = group_by_aggregate(keys, values, "sum")["aggregate"]
+        assert out.to_pylist() == [(1 << 60) + 1]
+        assert np.issubdtype(out.dtype, np.integer)
+
+    def test_group_by_sum_large_unsigned_exact(self):
+        keys = Column([0, 0, 1])
+        values = Column(np.array([1 << 63, 3, 5], dtype=np.uint64))
+        out = group_by_aggregate(keys, values, "sum")["aggregate"]
+        assert out.to_pylist() == [(1 << 63) + 3, 5]
+
+    def test_group_by_sum_float_values(self):
+        out = group_by_aggregate(Column([1, 1]), Column(np.array([0.5, 0.25])),
+                                 "sum")["aggregate"]
+        assert out.to_pylist() == [0.75]
+
+    def test_group_by_min_max_booleans(self):
+        keys = Column([1, 1, 2, 3])
+        values = Column(np.array([False, False, True, False]))
+        assert group_by_aggregate(keys, values, "max")["aggregate"].to_pylist() \
+            == [False, True, False]
+        assert group_by_aggregate(keys, values, "min")["aggregate"].to_pylist() \
+            == [False, True, False]
+
+    def test_scalar_sum_large_unsigned_exact(self):
+        values = Column(np.array([1 << 63, 3], dtype=np.uint64))
+        assert aggregate(values, "sum") == (1 << 63) + 3
+
 
 class TestHashJoin:
     def test_basic_join(self):

@@ -118,6 +118,53 @@ class TestSegmentDomainPushdown:
         mask, stats = range_mask_on_for(form, RangeBounds(150, 250))
         assert np.array_equal(mask.values, (col.values >= 150) & (col.values <= 250))
 
+    def test_wide_offset_segments_not_wrongly_rejected(self):
+        """Regression: the old ``(1 << min(width, 62)) - 1`` span understated
+        the bounds of ``offsets_width >= 63`` segments, so a predicate aimed
+        at a wide segment's upper half rejected the whole segment."""
+        high = (1 << 62) + 1_000
+        values = np.zeros(256, dtype=np.int64)
+        values[17] = high
+        values[200] = high - 3
+        column = Column(values)
+        form = FrameOfReference(segment_length=128).compress(column)
+        assert int(form.parameter("offsets_width")) >= 63  # the regression setup
+
+        bounds = RangeBounds(high - 10, high + 10)
+        mask, stats = range_mask_on_for(form, bounds)
+        assert np.array_equal(mask.values, reference_mask(column, bounds))
+        assert mask.values[17] and mask.values[200]
+
+    def test_wide_offset_segments_not_wrongly_accepted(self):
+        """The understated span could also blanket-accept a wide segment for
+        a predicate that excludes its true upper values."""
+        high = (1 << 62) + 1_000
+        values = np.zeros(128, dtype=np.int64)
+        values[5] = high
+        column = Column(values)
+        form = FrameOfReference(segment_length=128).compress(column)
+
+        bounds = RangeBounds(0, 1 << 61)
+        mask, __ = range_mask_on_for(form, bounds)
+        assert np.array_equal(mask.values, reference_mask(column, bounds))
+        assert not mask.values[5]
+
+    def test_saturating_bounds_never_overflow(self):
+        from repro.schemes.for_ import saturating_segment_bounds
+
+        top = np.iinfo(np.int64).max
+        bottom = np.iinfo(np.int64).min
+        refs = np.array([0, top - 10, bottom + 10], dtype=np.int64)
+        for width in (0, 1, 32, 62, 63, 64):
+            low, high = saturating_segment_bounds(refs, width, zigzag=False)
+            assert np.array_equal(low, refs)
+            assert np.all(high >= refs)
+            low, high = saturating_segment_bounds(refs, width, zigzag=True)
+            assert np.all(low <= refs) and np.all(high >= refs)
+        # width >= 63 zigzag admits everything
+        low, high = saturating_segment_bounds(refs, 64, zigzag=True)
+        assert np.all(low == bottom) and np.all(high == top)
+
     def test_wrong_scheme_rejected(self, smooth_data):
         with pytest.raises(QueryError):
             range_mask_on_for(Delta().compress(smooth_data), RangeBounds(0, 1))

@@ -14,6 +14,8 @@ a usable Python library:
 * :mod:`repro.storage` — chunks, stored columns, tables, statistics;
 * :mod:`repro.engine` — predicates, compressed-form pushdown, operators,
   queries;
+* :mod:`repro.api` — the lazy expression DSL (``col``/``lit``), logical
+  plans, the optimizer, and the :class:`~repro.api.Dataset` facade;
 * :mod:`repro.planner` — cost model, compression advisor, partial
   decompression planning;
 * :mod:`repro.workloads` — synthetic data generators;
@@ -31,6 +33,7 @@ Quickstart
 
 from .columnar import Column, Plan, PlanBuilder
 from . import columnar, schemes, model, storage, engine, planner, workloads, bench
+from . import api
 from .errors import ReproError
 
 __version__ = "1.0.0"
@@ -45,6 +48,7 @@ __all__ = [
     "model",
     "storage",
     "engine",
+    "api",
     "planner",
     "workloads",
     "bench",

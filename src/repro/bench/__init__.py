@@ -2,10 +2,12 @@
 
 :mod:`repro.bench.plan_compile` additionally provides the interpreted-vs-
 compiled decompression benchmark (``python -m repro.bench.plan_compile``),
-and :mod:`repro.bench.scan_pipeline` the seed-scan-vs-chunk-parallel-
-scheduler benchmark (``python -m repro.bench.scan_pipeline``); they write
-``BENCH_plan_compile.json`` / ``BENCH_scan_pipeline.json`` for cross-PR
-perf tracking.
+:mod:`repro.bench.scan_pipeline` the seed-scan-vs-chunk-parallel-scheduler
+benchmark (``python -m repro.bench.scan_pipeline``), and
+:mod:`repro.bench.api_overhead` the lazy-API plan-overhead and
+predicate-reordering benchmark (``python -m repro.bench.api_overhead``);
+they write ``BENCH_plan_compile.json`` / ``BENCH_scan_pipeline.json`` /
+``BENCH_api_plan.json`` for cross-PR perf tracking.
 """
 
 from .harness import (

@@ -1,0 +1,206 @@
+"""Lazy-API benchmark: plan-build/optimize overhead and reordering wins.
+
+Two questions about :mod:`repro.api`, answered with numbers:
+
+1. **What does laziness cost?**  For representative query shapes, the time
+   to build the ``Dataset`` chain plus run the optimizer is measured against
+   the end-to-end ``collect()`` — the overhead a user pays for the logical
+   plan indirection (expected: well under a percent on real data sizes).
+2. **What does the optimizer buy?**  A 3-conjunct scan is written in a
+   deliberately bad order (cheap-but-unselective conjuncts first, a highly
+   selective clustered-date range last).  The selectivity-based conjunct
+   reordering hoists the selective range to the front, where zone maps skip
+   most chunks and the per-chunk short-circuit spares the remaining
+   conjuncts; the speedup versus ``without_optimizer_reordering()`` is the
+   recorded win.
+
+Results go to ``BENCH_api_plan.json`` so successive PRs keep a perf
+trajectory.  Run as a module::
+
+    PYTHONPATH=src python -m repro.bench.api_overhead [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..api import Dataset, col, count, dataset
+from ..columnar.compile import clear_caches
+from ..schemes import FrameOfReference, NullSuppression, RunLengthEncoding
+from ..storage.table import Table
+from .harness import time_callable
+
+DEFAULT_NUM_ROWS = 1_000_000
+QUICK_NUM_ROWS = 131_072
+CHUNK_SIZE = 65_536
+
+
+def build_table(num_rows: int, seed: int = 20_180_416
+                ) -> Tuple[Dict[str, np.ndarray], Table]:
+    """A clustered date, a smooth price, a noisy quantity (scan-bench shape)."""
+    rng = np.random.default_rng(seed)
+    data = {
+        "ship_date": np.sort(rng.integers(0, 2_000, num_rows)).astype(np.int64),
+        "price": (np.cumsum(rng.integers(-4, 5, num_rows)) + 100_000).astype(np.int64),
+        "quantity": rng.integers(0, 1 << 10, num_rows).astype(np.int64),
+    }
+    table = Table.from_pydict(
+        data,
+        schemes={
+            "ship_date": RunLengthEncoding(),
+            "price": FrameOfReference(segment_length=256),
+            "quantity": NullSuppression(),
+        },
+        chunk_size=CHUNK_SIZE,
+    )
+    return data, table
+
+
+def _query_shapes(table: Table, data: Dict[str, np.ndarray]) -> List[Dict[str, Any]]:
+    date_hi = int(data["ship_date"].max())
+    price_lo = int(np.percentile(data["price"], 20))
+    price_hi = int(np.percentile(data["price"], 80))
+
+    def filter_aggregate() -> Dataset:
+        return (dataset(table, "bench")
+                .filter(col("ship_date").between(date_hi // 4, date_hi // 2)
+                        & col("quantity").between(64, 512))
+                .agg(col("price").sum(), count()))
+
+    def derived_group_by() -> Dataset:
+        return (dataset(table, "bench")
+                .filter(col("price").between(price_lo, price_hi))
+                .with_column("revenue", col("price") * col("quantity"))
+                .group_by((col("ship_date") // 100).alias("epoch"))
+                .agg(col("revenue").sum().alias("total"), count()))
+
+    def top_k() -> Dataset:
+        return (dataset(table, "bench")
+                .filter(col("quantity") > 16)
+                .select("ship_date", "price")
+                .sort("price", descending=True)
+                .limit(100))
+
+    return [
+        {"name": "filter_aggregate", "build": filter_aggregate},
+        {"name": "derived_group_by", "build": derived_group_by},
+        {"name": "top_k", "build": top_k},
+    ]
+
+
+def measure_overhead(shape: Dict[str, Any], repeats: int) -> Dict[str, Any]:
+    build = shape["build"]
+
+    def plan_only():
+        return build().optimized_plan()
+
+    def end_to_end():
+        return build().collect()
+
+    plan_timing = time_callable(plan_only, repeats=repeats, warmup=1)
+    collect_timing = time_callable(end_to_end, repeats=repeats, warmup=1)
+    return {
+        "query": shape["name"],
+        "plan_build_optimize_s": plan_timing.best_seconds,
+        "collect_s": collect_timing.best_seconds,
+        "overhead_fraction": plan_timing.best_seconds
+        / max(collect_timing.best_seconds, 1e-12),
+    }
+
+
+def measure_reordering(table: Table, data: Dict[str, np.ndarray],
+                       repeats: int) -> Dict[str, Any]:
+    """The 3-conjunct scan with the selective conjunct written *last*."""
+    date_hi = int(data["ship_date"].max())
+    price_lo = int(np.percentile(data["price"], 10))
+    price_hi = int(np.percentile(data["price"], 90))
+
+    def build() -> Dataset:
+        return (dataset(table, "bench")
+                .filter(col("quantity") >= 8)                       # ~99%
+                .filter(col("price").between(price_lo, price_hi))   # ~80%
+                .filter(col("ship_date").between(0, date_hi // 50))  # ~2%
+                .agg(count()))
+
+    def optimized():
+        return build().collect()
+
+    def source_order():
+        return build().without_optimizer_reordering().collect()
+
+    fast = optimized()
+    slow = source_order()
+    assert fast.scalars == slow.scalars  # the reorder must not change answers
+
+    optimized_timing = time_callable(optimized, repeats=repeats, warmup=1)
+    baseline_timing = time_callable(source_order, repeats=repeats, warmup=1)
+    stats = fast.scan_stats
+    return {
+        "query": "reorder_3_conjuncts",
+        "rows_selected": fast.scalars["count(*)"],
+        "optimized_s": optimized_timing.best_seconds,
+        "source_order_s": baseline_timing.best_seconds,
+        "reorder_speedup": baseline_timing.best_seconds
+        / max(optimized_timing.best_seconds, 1e-12),
+        "chunks_skipped": stats.chunks_skipped,
+        "chunks_short_circuited": stats.chunks_short_circuited,
+        "chunks_decompressed": stats.chunks_decompressed,
+    }
+
+
+def run_benchmark(quick: bool = False,
+                  repeats: Optional[int] = None) -> Dict[str, Any]:
+    num_rows = QUICK_NUM_ROWS if quick else DEFAULT_NUM_ROWS
+    repeats = repeats if repeats is not None else (2 if quick else 5)
+    clear_caches()
+    data, table = build_table(num_rows)
+    overhead_rows = [measure_overhead(shape, repeats)
+                     for shape in _query_shapes(table, data)]
+    return {
+        "benchmark": "api_plan",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "rows": num_rows,
+        "plan_overhead": overhead_rows,
+        "predicate_reordering": measure_reordering(table, data, repeats),
+    }
+
+
+def write_bench_json(path: str = "BENCH_api_plan.json",
+                     quick: bool = False) -> Dict[str, Any]:
+    report = run_benchmark(quick=quick)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small data, few repeats (CI smoke mode)")
+    parser.add_argument("--out", default="BENCH_api_plan.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    report = write_bench_json(args.out, quick=args.quick)
+    for row in report["plan_overhead"]:
+        print(f"{row['query']:>18}  plan+optimize {row['plan_build_optimize_s'] * 1e3:7.3f} ms"
+              f"  collect {row['collect_s'] * 1e3:8.2f} ms"
+              f"  overhead {row['overhead_fraction'] * 100:6.2f}%")
+    reorder = report["predicate_reordering"]
+    print(f"{reorder['query']:>18}  source-order {reorder['source_order_s'] * 1e3:8.2f} ms"
+          f"  optimized {reorder['optimized_s'] * 1e3:8.2f} ms"
+          f"  speedup {reorder['reorder_speedup']:5.2f}x")
+    print(f"wrote {args.out} (cpu_count={report['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

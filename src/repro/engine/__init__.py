@@ -29,10 +29,11 @@ from .operators import (
     aggregate,
     filter_table,
     group_by_aggregate,
+    grouped_reduce,
     hash_join,
     project,
 )
-from .query import Query, QueryResult, join_tables
+from .query import JoinResult, Query, QueryResult, join_tables
 from .scan import ScanResult, gather_rows, scan_table
 
 __all__ = [
@@ -56,9 +57,11 @@ __all__ = [
     "project",
     "aggregate",
     "group_by_aggregate",
+    "grouped_reduce",
     "hash_join",
     "Query",
     "QueryResult",
+    "JoinResult",
     "join_tables",
     "ScanResult",
     "scan_table",

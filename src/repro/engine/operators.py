@@ -15,7 +15,7 @@ to keep the "decompression is query execution" point front and centre.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -178,37 +178,43 @@ def aggregate(values: Column, how: str):
     return float(data.mean())
 
 
-def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
-                       ) -> Dict[str, Column]:
-    """Group *values* by *keys* and aggregate each group.
+def grouped_reduce(codes: np.ndarray, num_groups: int,
+                   values: Optional[Column], how: str) -> Column:
+    """Reduce *values* per group, given pre-factorised group *codes*.
 
-    Returns ``{"key": ..., "aggregate": ...}`` columns sorted by key.  The
-    implementation is the textbook sort-free NumPy one: factorise the keys,
-    then use ``bincount`` / ``minimum.at`` style reductions.
+    This is the kernel half of :func:`group_by_aggregate`: *codes* maps each
+    row to its group index in ``[0, num_groups)``.  Factorising once and
+    reducing many times is what multi-aggregate ``group_by().agg(...)``
+    queries (and multi-key groupings, which factorise outside NumPy's
+    ``unique``) need.  ``how="count"`` ignores *values* (may be ``None``).
+    The dtype discipline matches the scalar aggregates: integer sums
+    accumulate in int64/uint64, min/max preserve the value dtype.
     """
-    if len(keys) != len(values):
-        raise QueryError("group_by_aggregate(): keys and values must have equal length")
     if how not in _AGGREGATES:
         raise QueryError(f"unknown aggregate {how!r}; known: {_AGGREGATES}")
-    unique_keys, codes = np.unique(keys.values, return_inverse=True)
-    data = values.values
     if how == "count":
-        result = np.bincount(codes, minlength=unique_keys.size)
-    elif how == "sum":
+        result = np.bincount(codes, minlength=num_groups)
+        return Column(result, name=how)
+    if values is None:
+        raise QueryError(f"grouped_reduce(): aggregate {how!r} needs values")
+    if codes.size != len(values):
+        raise QueryError("grouped_reduce(): codes and values must have equal length")
+    data = values.values
+    if how == "sum":
         if np.issubdtype(data.dtype, np.integer):
             # bincount's float64 weights lose integer precision above 2^53;
             # accumulate in the value's own integer family instead.
             accumulator = np.uint64 if np.issubdtype(data.dtype, np.unsignedinteger) \
                 else np.int64
-            result = np.zeros(unique_keys.size, dtype=accumulator)
+            result = np.zeros(num_groups, dtype=accumulator)
             np.add.at(result, codes, data.astype(accumulator))
         else:
             result = np.bincount(codes, weights=data.astype(np.float64),
-                                 minlength=unique_keys.size)
+                                 minlength=num_groups)
     elif how == "mean":
         sums = np.bincount(codes, weights=data.astype(np.float64),
-                           minlength=unique_keys.size)
-        counts = np.bincount(codes, minlength=unique_keys.size)
+                           minlength=num_groups)
+        counts = np.bincount(codes, minlength=num_groups)
         result = sums / np.maximum(counts, 1)
     else:
         if data.dtype == np.bool_:
@@ -218,11 +224,28 @@ def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
             fill = info.max if how == "min" else info.min
         else:
             fill = np.inf if how == "min" else -np.inf
-        result = np.full(unique_keys.size, fill, dtype=data.dtype)
+        result = np.full(num_groups, fill, dtype=data.dtype)
         ufunc = np.minimum if how == "min" else np.maximum
         ufunc.at(result, codes, data)
+    return Column(result, name=how)
+
+
+def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
+                       ) -> Dict[str, Column]:
+    """Group *values* by *keys* and aggregate each group.
+
+    Returns ``{"key": ..., "aggregate": ...}`` columns sorted by key.  The
+    implementation is the textbook sort-free NumPy one: factorise the keys
+    with ``np.unique``, then reduce through :func:`grouped_reduce`.
+    """
+    if len(keys) != len(values):
+        raise QueryError("group_by_aggregate(): keys and values must have equal length")
+    if how not in _AGGREGATES:
+        raise QueryError(f"unknown aggregate {how!r}; known: {_AGGREGATES}")
+    unique_keys, codes = np.unique(keys.values, return_inverse=True)
+    aggregate_column = grouped_reduce(codes, unique_keys.size, values, how)
     return {"key": Column(unique_keys, name="key"),
-            "aggregate": Column(result, name=f"{how}")}
+            "aggregate": aggregate_column}
 
 
 # --------------------------------------------------------------------------- #

@@ -1,40 +1,51 @@
-"""A small fluent query API over stored tables.
+"""The eager fluent query API — now a shim over :mod:`repro.api`.
 
-This is the user-facing entry point of the execution substrate::
+This is the seed-era entry point of the execution substrate::
 
     result = (Query(table)
               .filter(Between("ship_date", date_lo, date_hi))
               .aggregate("quantity", "sum")
               .run())
 
-It is intentionally tiny — single-table filters, projections, scalar and
-grouped aggregates, plus an explicit two-table equi-join helper — but every
-step goes through the compressed-aware operators of
-:mod:`repro.engine.operators`, so the pushdown and late-materialisation
-behaviour the paper argues for is what actually executes.
+Since the lazy expression DSL landed, :class:`Query` is a thin compatibility
+shim: :meth:`Query.run` builds a :class:`repro.api.logical` plan (with the
+original predicate objects lifted via
+:class:`~repro.api.expr.WrappedPredicate` and optimizer reordering disabled)
+and collects it through the same lowering pass as
+:class:`~repro.api.Dataset`.  Results — columns, scalars, ``row_count`` and
+``ScanStats`` counters — are bit-identical to the pre-DSL engine; the
+regression suite in ``tests/engine/test_query_shim.py`` pins that.
+
+New code should prefer the lazy API::
+
+    from repro.api import col, dataset
+    result = (dataset(table)
+              .filter(col("ship_date").between(date_lo, date_hi))
+              .agg(col("quantity").sum())
+              .collect())
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..columnar.column import Column
 from ..errors import QueryError
+from ..storage.column_store import DEFAULT_CHUNK_SIZE
 from ..storage.table import Table
 from .operators import (
     ScanStats,
     aggregate,
-    group_by_aggregate,
     hash_join,
 )
 from .predicates import Predicate
-from .scan import scan_table
 
 
 @dataclass
 class QueryResult:
-    """The outcome of :meth:`Query.run`.
+    """The outcome of :meth:`Query.run` / :meth:`repro.api.Dataset.collect`.
 
     Attributes
     ----------
@@ -43,7 +54,7 @@ class QueryResult:
     scalars:
         Scalar aggregate results keyed by ``"<agg>(<column>)"``.
     row_count:
-        Number of qualifying rows.
+        Number of qualifying rows (for aggregates: rows aggregated).
     scan_stats:
         What the scan touched (chunks skipped, pushdown counters, ...).
     """
@@ -61,9 +72,50 @@ class QueryResult:
                 f"result has no column {name!r}; present: {sorted(self.columns)}"
             ) from None
 
+    def to_table(self, schemes: Any = "auto",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> Table:
+        """Wrap the result columns as an in-memory :class:`Table`.
+
+        The default ``schemes="auto"`` re-compresses every column through
+        the scheme registry's advisor, so a collected result round-trips
+        into first-class compressed storage and can be queried again
+        (``Dataset.from_result`` builds on this).
+
+        Zero-row results cannot round-trip — the storage layer requires at
+        least one row per stored column — so wrapping an empty result
+        raises :class:`QueryError`; guard with ``result.row_count`` when a
+        query may legitimately match nothing.
+        """
+        if not self.columns:
+            raise QueryError(
+                "result has no columns to wrap as a table (scalar aggregate "
+                "results stay scalars)"
+            )
+        return _wrap_columns_as_table(self.columns, "result", schemes,
+                                      chunk_size)
+
+
+def _wrap_columns_as_table(columns: Dict[str, Column], what: str,
+                           schemes: Any, chunk_size: int) -> Table:
+    """Shared result-as-table path: reject empty inputs, then round-trip the
+    columns through :meth:`Table.from_columns` (``"auto"`` = advisor)."""
+    first = next(iter(columns.values()))
+    if len(first) == 0:
+        raise QueryError(
+            f"cannot wrap an empty {what} as a table: a stored column needs "
+            "at least one row"
+        )
+    return Table.from_columns(columns, schemes=schemes, chunk_size=chunk_size)
+
 
 class Query:
-    """A fluent, single-table query builder."""
+    """A fluent, single-table query builder (compatibility shim).
+
+    Building validates eagerly against the table, exactly like the seed
+    engine; :meth:`run` lowers through the lazy API's optimizer (with
+    conjunct reordering disabled to preserve scan-order semantics) onto the
+    chunk-parallel scan scheduler.
+    """
 
     def __init__(self, table: Table):
         self._table = table
@@ -138,7 +190,7 @@ class Query:
         return self
 
     # ------------------------------------------------------------------ #
-    # Execution
+    # Execution (via the lazy API)
     # ------------------------------------------------------------------ #
 
     def _needed_columns(self) -> List[str]:
@@ -155,59 +207,204 @@ class Query:
             needed.extend(self._table.column_names)
         return list(dict.fromkeys(needed))
 
+    def _dataset(self):
+        """The configured lazy dataset with the filters lifted verbatim."""
+        from ..api.dataset import Dataset
+        from ..api.expr import WrappedPredicate
+
+        ds = Dataset.from_table(self._table)._replace_options(
+            parallelism=self._parallelism,
+            use_pushdown=self._use_pushdown,
+            use_zone_maps=self._use_zone_maps,
+            preserve_filter_order=True,
+        )
+        for predicate in self._predicates:
+            ds = ds.filter(WrappedPredicate(predicate))
+        return ds
+
+    def _shim_aggregates(self) -> List:
+        """The (deduplicated) aggregate expressions, with the seed's
+        ``("*", "count")`` -> ``count(<group key>)`` rewrite under group-by."""
+        from ..api.expr import AggExpr, ColumnRef
+
+        aggs: List = []
+        seen = set()
+        for column_name, how in self._aggregates:
+            if column_name == "*":
+                if self._group_by is not None:
+                    column_name, how = self._group_by, "count"
+                else:
+                    key = ("*", "count")
+                    if key not in seen:  # the eager API silently overwrote
+                        seen.add(key)
+                        aggs.append(AggExpr("count", None))
+                    continue
+            key = (column_name, how)
+            if key in seen:
+                continue
+            seen.add(key)
+            aggs.append(AggExpr(how, ColumnRef(column_name)))
+        return aggs
+
     def run(self) -> QueryResult:
         """Execute the query and return a :class:`QueryResult`.
 
         Selection, projection and the aggregates' input columns are produced
-        by **one** pass of the scan scheduler: the columns the later stages
-        need are gathered per chunk inside the scan itself (reusing any
-        values the predicates already decompressed) rather than in a second
-        full pass over the table.
+        by **one** pass of the scan scheduler, reached through the lazy
+        API's logical plan and lowering.
         """
-        scan = scan_table(self._table, self._predicates,
-                          use_pushdown=self._use_pushdown,
-                          use_zone_maps=self._use_zone_maps,
-                          parallelism=self._parallelism,
-                          materialize=self._needed_columns())
-        selection = scan.selection
-        result = QueryResult(row_count=len(selection), scan_stats=scan.stats)
+        from ..api.expr import ColumnRef
+
+        ds = self._dataset()
 
         if self._group_by is not None:
             if not self._aggregates:
                 raise QueryError("group_by() requires at least one aggregate()")
-            keys = scan.columns[self._group_by]
+            return ds.group_by(ColumnRef(self._group_by)) \
+                .agg(*self._shim_aggregates()).collect()
+
+        if self._aggregates and self._projection is None:
+            return ds.agg(*self._shim_aggregates()).collect()
+
+        needed = self._needed_columns()
+        if not needed:
+            # Degenerate seed behaviours with nothing to materialise:
+            # ``project()`` with no columns, possibly plus ``count(*)``.
+            from .scan import scan_table
+            scan = scan_table(self._table, self._predicates,
+                              use_pushdown=self._use_pushdown,
+                              use_zone_maps=self._use_zone_maps,
+                              parallelism=self._parallelism, materialize=[])
+            result = QueryResult(row_count=len(scan.selection),
+                                 scan_stats=scan.stats)
             for column_name, how in self._aggregates:
-                if column_name == "*":
-                    column_name, how = self._group_by, "count"
-                grouped = group_by_aggregate(keys, scan.columns[column_name], how=how)
-                result.columns[self._group_by] = grouped["key"].rename(self._group_by)
-                result.columns[f"{how}({column_name})"] = grouped["aggregate"]
+                if how == "count" and column_name == "*":
+                    result.scalars["count(*)"] = result.row_count
             return result
 
+        frame = ds.select(*needed).collect()
+        if not self._aggregates:
+            return frame
+
+        # Scalar aggregates *and* a projection: the seed computed both from
+        # the one scan pass; assemble the same way from the frame.
+        result = QueryResult(row_count=frame.row_count,
+                             scan_stats=frame.scan_stats)
         for column_name, how in self._aggregates:
             if how == "count" and column_name == "*":
-                result.scalars["count(*)"] = len(selection)
+                result.scalars["count(*)"] = frame.row_count
                 continue
             result.scalars[f"{how}({column_name})"] = aggregate(
-                scan.columns[column_name], how)
-
-        if self._projection is not None:
-            result.columns.update({name: scan.columns[name]
-                                   for name in self._projection})
-        elif not self._aggregates:
-            result.columns.update({name: scan.columns[name]
-                                   for name in self._table.column_names})
+                frame.columns[column_name], how)
+        result.columns.update({name: frame.columns[name]
+                               for name in self._projection})
         return result
+
+
+class JoinResult:
+    """The queryable output of :func:`join_tables`.
+
+    Wraps the joined columns and turns them back into first-class storage:
+    :meth:`as_table` re-compresses every column through the scheme
+    registry's advisor, so the join output can be filtered, aggregated or
+    joined again like any stored table.  The legacy dict-style access
+    (``result["left.quantity"]``, :meth:`to_dict`) still works but is
+    deprecated.
+    """
+
+    def __init__(self, columns: Dict[str, Column]):
+        self._columns = dict(columns)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def row_count(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise QueryError(
+                f"join result has no column {name!r}; present: "
+                f"{sorted(self._columns)}"
+            ) from None
+
+    def as_table(self, schemes: Any = "auto",
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> Table:
+        """The joined columns as an in-memory :class:`Table` (compressed
+        through the default scheme registry)."""
+        return _wrap_columns_as_table(self._columns, "join result", schemes,
+                                      chunk_size)
+
+    # -- deprecated dict-compatible surface (join_tables used to return a
+    #    plain Dict[str, Column]; the common read idioms — indexing,
+    #    iteration, len, membership, keys/values/items/get — warn but keep
+    #    working; mutation idioms are intentionally gone) --
+
+    def _deprecated(self, idiom: str) -> None:
+        warnings.warn(
+            f"{idiom} on join_tables() output is deprecated; use "
+            ".column(name), .column_names or .as_table() instead",
+            DeprecationWarning, stacklevel=3,
+        )
+
+    def __getitem__(self, name: str) -> Column:
+        self._deprecated("dict-style access")
+        return self.column(name)
+
+    def __iter__(self):
+        self._deprecated("iteration")
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        self._deprecated("len()")
+        return len(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        self._deprecated("membership testing")
+        return name in self._columns
+
+    def keys(self):
+        self._deprecated("keys()")
+        return list(self._columns)
+
+    def values(self):
+        self._deprecated("values()")
+        return list(self._columns.values())
+
+    def items(self):
+        self._deprecated("items()")
+        return list(self._columns.items())
+
+    def get(self, name: str, default: Optional[Column] = None):
+        self._deprecated("get()")
+        return self._columns.get(name, default)
+
+    def to_dict(self) -> Dict[str, Column]:
+        """Deprecated accessor returning the raw column dict."""
+        self._deprecated("to_dict()")
+        return dict(self._columns)
+
+    def __repr__(self) -> str:
+        return f"JoinResult(columns={self.column_names}, rows={self.row_count})"
 
 
 def join_tables(left: Table, right: Table, left_key: str, right_key: str,
                 project_left: Optional[List[str]] = None,
-                project_right: Optional[List[str]] = None) -> Dict[str, Column]:
+                project_right: Optional[List[str]] = None) -> JoinResult:
     """Inner equi-join two tables on a key column each, materialising projections.
 
     Key columns are materialised (decompressed) for the join itself; the
     projected payload columns are materialised only at the matching
-    positions — the late-materialisation discipline again.
+    positions — the late-materialisation discipline again.  Returns a
+    :class:`JoinResult`, whose :meth:`~JoinResult.as_table` makes the output
+    queryable again.  (For fully lazy, optimizer-visible joins use
+    :meth:`repro.api.Dataset.join`.)
     """
     left_keys = left.column(left_key).materialize()
     right_keys = right.column(right_key).materialize()
@@ -218,4 +415,4 @@ def join_tables(left: Table, right: Table, left_key: str, right_key: str,
         output[f"left.{name}"] = left.column(name).materialize_rows(left_positions)
     for name in project_right or [right_key]:
         output[f"right.{name}"] = right.column(name).materialize_rows(right_positions)
-    return output
+    return JoinResult(output)

@@ -31,6 +31,23 @@ chunk with one ``searchsorted`` (instead of one boolean mask per chunk) and
 decompresses only the chunks that are actually hit;
 :meth:`~repro.storage.column_store.StoredColumn.materialize_rows` goes
 through it.
+
+Two extension points serve the lazy query API (:mod:`repro.api`):
+
+* **row filters** — duck-typed objects with ``columns`` (referenced column
+  names), ``evaluate(env) -> bool ndarray`` (*env* maps each referenced
+  column to its values over the chunk range) and ``chunk_decision(stats_env)
+  -> Optional[bool]`` — express predicates the single-column
+  :class:`~repro.engine.predicates.Predicate` cascade cannot, e.g.
+  ``a < b`` across columns.  They are evaluated after the per-column
+  conjuncts (sharing the same per-chunk decompression cache and
+  short-circuiting), with zone-map decisions from interval arithmetic over
+  every referenced column's statistics;
+* **derived columns** — ``(name, spec)`` pairs where *spec* has ``columns``
+  and ``evaluate(env) -> ndarray``; the expression is evaluated per chunk
+  range against values gathered at the surviving positions from the scan's
+  shared decompressed buffers, so a projection like ``price * qty`` never
+  materialises its inputs table-wide.
 """
 
 from __future__ import annotations
@@ -108,7 +125,9 @@ def _overlapping_chunks(stored: StoredColumn, starts: np.ndarray,
 def _scan_range(table: Table, predicates: Sequence[Predicate],
                 starts_by_column: Dict[str, np.ndarray],
                 lo: int, hi: int, use_pushdown: bool, use_zone_maps: bool,
-                materialize: Sequence[str]) -> _RangeOutcome:
+                materialize: Sequence[str],
+                row_filters: Sequence = (),
+                derive: Sequence[Tuple[str, object]] = ()) -> _RangeOutcome:
     """Evaluate the whole conjunction (and gather columns) over ``[lo, hi)``."""
     stats = ScanStats()
     span = hi - lo
@@ -127,6 +146,23 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
             values = chunk.decompress()
             values_cache[key] = values
         return values
+
+    def span_values(name: str) -> np.ndarray:
+        """The column's values over ``[lo, hi)`` (no copy when one chunk covers it)."""
+        stored = table.column(name)
+        out: Optional[np.ndarray] = None
+        for chunk in _overlapping_chunks(stored, starts_by_column[name], lo, hi):
+            o_lo = max(lo, chunk.row_offset)
+            o_hi = min(hi, chunk.row_offset + chunk.row_count)
+            piece = chunk_values(name, chunk).values[
+                o_lo - chunk.row_offset:o_hi - chunk.row_offset]
+            if out is None and o_lo == lo and o_hi == hi:
+                return piece
+            if out is None:
+                out = np.empty(span, dtype=stored.dtype)
+            out[o_lo - lo:o_hi - lo] = piece
+        assert out is not None, f"column {name!r} does not cover rows [{lo}, {hi})"
+        return out
 
     for predicate in predicates:
         name = predicate.column_name
@@ -171,14 +207,61 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
         if mask is not None and not mask.any():
             alive = False
 
+    # Row filters: multi-column conjuncts, evaluated against the chunk
+    # range's shared decompressed buffers after the per-column cascade.
+    span_cache: Dict[str, np.ndarray] = {}
+    for row_filter in row_filters:
+        stats.chunks_total += 1
+        if not alive:
+            stats.chunks_short_circuited += 1
+            continue
+        stats.rows_scanned += span
+        decision = None
+        if use_zone_maps:
+            stats_env: Optional[Dict[str, object]] = {}
+            for name in row_filter.columns:
+                stored = table.column(name)
+                overlapping = list(
+                    _overlapping_chunks(stored, starts_by_column[name], lo, hi))
+                if len(overlapping) != 1:
+                    stats_env = None  # misaligned chunks: no single zone map
+                    break
+                stats_env[name] = overlapping[0].statistics
+            if stats_env is not None:
+                decision = row_filter.chunk_decision(stats_env)
+        if decision is True:
+            stats.chunks_fully_accepted += 1
+            continue
+        if decision is False:
+            stats.chunks_skipped += 1
+            if mask is None:
+                mask = np.zeros(span, dtype=bool)
+            else:
+                mask[:] = False
+            alive = False
+            continue
+        for name in row_filter.columns:
+            if name not in span_cache:
+                span_cache[name] = span_values(name)
+        filter_mask = np.asarray(
+            row_filter.evaluate({name: span_cache[name]
+                                 for name in row_filter.columns}), dtype=bool)
+        if filter_mask.ndim == 0:  # constant filter: broadcast over the range
+            filter_mask = np.full(span, bool(filter_mask))
+        if mask is None:
+            mask = filter_mask.copy()
+        else:
+            np.logical_and(mask, filter_mask, out=mask)
+        if not mask.any():
+            alive = False
+
     if mask is None:
         positions = np.arange(lo, hi, dtype=np.int64)
     else:
         positions = np.flatnonzero(mask).astype(np.int64) + lo
     stats.rows_selected += positions.size
 
-    pieces: Dict[str, np.ndarray] = {}
-    for name in materialize:
+    def gather(name: str) -> np.ndarray:
         stored = table.column(name)
         out = np.empty(positions.size, dtype=stored.dtype)
         if positions.size:
@@ -189,43 +272,92 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
                     continue
                 values = chunk_values(name, chunk).values
                 out[start:stop] = values[positions[start:stop] - c_lo]
-        pieces[name] = out
+        return out
+
+    pieces: Dict[str, np.ndarray] = {}
+    for name in materialize:
+        pieces[name] = gather(name)
+    if derive:
+        gathered: Dict[str, np.ndarray] = dict(pieces)
+        for out_name, spec in derive:
+            for name in spec.columns:
+                if name not in gathered:
+                    gathered[name] = gather(name)
+            value = np.asarray(spec.evaluate({name: gathered[name]
+                                              for name in spec.columns}))
+            if value.ndim == 0:  # constant expression: broadcast
+                value = np.full(positions.size, value[()])
+            pieces[out_name] = value
     return _RangeOutcome(positions=positions, stats=stats, pieces=pieces)
 
 
 def scan_table(table: Table, predicates: Sequence[Predicate],
                use_pushdown: bool = True, use_zone_maps: bool = True,
                parallelism: int = 1,
-               materialize: Optional[Sequence[str]] = None) -> ScanResult:
+               materialize: Optional[Sequence[str]] = None,
+               row_filters: Optional[Sequence] = None,
+               derive: Optional[Sequence[Tuple[str, object]]] = None
+               ) -> ScanResult:
     """Run the chunk-at-a-time scan pipeline over *table*.
 
-    Evaluates the conjunction of *predicates* (all of them, short-circuiting
-    per chunk) and, when *materialize* names columns, gathers those columns
-    at the qualifying positions inside the same pass.  ``parallelism > 1``
+    Evaluates the conjunction of *predicates* plus *row_filters* (all of
+    them, short-circuiting per chunk) and, when *materialize* names columns,
+    gathers those columns at the qualifying positions inside the same pass.
+    *derive* is an ordered sequence of ``(output name, spec)`` pairs whose
+    expressions are evaluated per chunk range against the gathered values
+    (see the module docstring for the spec protocol).  ``parallelism > 1``
     fans the chunk ranges out over a thread pool; results are merged in
     chunk order and are bit-identical to a serial scan.
     """
     from ..columnar.compile import cache_info
 
     materialize = list(materialize) if materialize is not None else []
-    for name in materialize:
+    row_filters = list(row_filters) if row_filters else []
+    derive = list(derive) if derive else []
+    derive_inputs = [name for __, spec in derive for name in spec.columns]
+    filter_inputs = [name for rf in row_filters for name in rf.columns]
+    for name in materialize + derive_inputs + filter_inputs:
         if name not in table:
             raise QueryError(f"unknown scan column {name!r}")
+    output_names = materialize + [name for name, __ in derive]
+    if len(set(output_names)) != len(output_names):
+        raise QueryError(f"duplicate scan output names in {output_names!r}")
 
-    if not predicates:
+    if not predicates and not row_filters:
         selection = SelectionVector.all_rows(table.row_count)
         columns = {name: table.column(name).materialize() for name in materialize}
+        if derive:
+            base: Dict[str, np.ndarray] = {
+                name: column.values for name, column in columns.items()}
+            for out_name, spec in derive:
+                for name in spec.columns:
+                    if name not in base:
+                        base[name] = table.column(name).materialize().values
+                value = np.asarray(spec.evaluate({name: base[name]
+                                                  for name in spec.columns}))
+                if value.ndim == 0:
+                    value = np.full(table.row_count, value[()])
+                columns[out_name] = Column(value, name=out_name)
         return ScanResult(selection=selection, stats=None, columns=columns)
 
     starts_by_column = {
         name: _chunk_starts(table.column(name))
-        for name in dict.fromkeys([p.column_name for p in predicates] + materialize)
+        for name in dict.fromkeys(
+            [p.column_name for p in predicates] + filter_inputs
+            + materialize + derive_inputs)
     }
-    #: The scheduling grid: the chunk ranges of the first predicate's column.
+    #: The scheduling grid: the chunk ranges of the first conjunct's column.
     #: (Tables built through :meth:`Table.from_columns` share one chunk size,
     #: so in practice every conjunct sees exactly one chunk per range; the
     #: scheduler still handles misaligned columns by slicing overlaps.)
-    grid_column = table.column(predicates[0].column_name)
+    if predicates:
+        grid_name = predicates[0].column_name
+    else:
+        grid_name = next((name for rf in row_filters for name in rf.columns),
+                         None)
+        if grid_name is None:  # only column-free (constant) row filters
+            grid_name = table.column_names[0]
+    grid_column = table.column(grid_name)
     ranges = [(chunk.row_offset, chunk.row_offset + chunk.row_count)
               for chunk in grid_column.iter_chunks()]
 
@@ -234,7 +366,7 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
     def run_range(bounds: Tuple[int, int]) -> _RangeOutcome:
         return _scan_range(table, predicates, starts_by_column,
                            bounds[0], bounds[1], use_pushdown, use_zone_maps,
-                           materialize)
+                           materialize, row_filters=row_filters, derive=derive)
 
     if parallelism > 1 and len(ranges) > 1:
         with ThreadPoolExecutor(max_workers=parallelism) as pool:
@@ -242,7 +374,7 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
     else:
         outcomes = [run_range(bounds) for bounds in ranges]
 
-    stats = ScanStats(predicates_total=len(predicates))
+    stats = ScanStats(predicates_total=len(predicates) + len(row_filters))
     for outcome in outcomes:
         stats.merge(outcome.stats)
     cache_after = cache_info()
@@ -250,13 +382,12 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                              + cache_after["plan_hits"] - cache_before["plan_hits"])
     stats.plan_cache_misses = cache_after["plan_misses"] - cache_before["plan_misses"]
 
-    positions = np.concatenate([o.positions for o in outcomes]) \
-        if outcomes else np.empty(0, dtype=np.int64)
+    # A stored column always has at least one chunk, so outcomes is non-empty.
+    positions = np.concatenate([o.positions for o in outcomes])
     selection = SelectionVector(Column(positions))
     columns = {
-        name: Column(np.concatenate([o.pieces[name] for o in outcomes])
-                     if outcomes else np.empty(0, dtype=table.column(name).dtype),
+        name: Column(np.concatenate([o.pieces[name] for o in outcomes]),
                      name=name)
-        for name in materialize
+        for name in output_names
     }
     return ScanResult(selection=selection, stats=stats, columns=columns)

@@ -37,15 +37,22 @@ class Table:
     @staticmethod
     def from_columns(
         columns: Mapping[str, Column],
-        schemes: Optional[Mapping[str, SchemeChooser]] = None,
+        schemes: Union[Mapping[str, SchemeChooser], str, None] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> "Table":
         """Build a table from in-memory columns.
 
         *schemes* optionally maps column names to the scheme (or per-chunk
         scheme chooser) used to store them; unmentioned columns are stored
-        uncompressed.
+        uncompressed.  The string ``"auto"`` routes every column through the
+        compression advisor over the default scheme registry, so in-memory
+        results (query outputs, join products) round-trip into first-class
+        compressed storage.
         """
+        if schemes == "auto":
+            # Imported lazily: the planner depends on storage statistics.
+            from ..planner import choose_scheme
+            schemes = {name: choose_scheme for name in columns}
         schemes = schemes or {}
         stored = {
             name: StoredColumn.from_column(column, name=name,
@@ -58,10 +65,11 @@ class Table:
     @staticmethod
     def from_pydict(
         data: Mapping[str, Sequence],
-        schemes: Optional[Mapping[str, SchemeChooser]] = None,
+        schemes: Union[Mapping[str, SchemeChooser], str, None] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> "Table":
-        """Build a table from plain Python sequences / NumPy arrays."""
+        """Build a table from plain Python sequences / NumPy arrays (see
+        :meth:`from_columns` for the *schemes* forms, including ``"auto"``)."""
         columns = {name: Column(np.asarray(values), name=name)
                    for name, values in data.items()}
         return Table.from_columns(columns, schemes=schemes, chunk_size=chunk_size)

@@ -1,0 +1,32 @@
+"""Smoke tests for the lazy-API benchmark (quick mode, in-process)."""
+
+import json
+
+from repro.bench.api_overhead import run_benchmark, write_bench_json
+
+
+def test_quick_benchmark_shape():
+    report = run_benchmark(quick=True, repeats=1)
+    assert report["benchmark"] == "api_plan"
+    assert {row["query"] for row in report["plan_overhead"]} == {
+        "filter_aggregate", "derived_group_by", "top_k"}
+    for row in report["plan_overhead"]:
+        assert row["plan_build_optimize_s"] > 0
+        assert row["collect_s"] > 0
+        # Building+optimizing a plan must stay a small fraction of running it.
+        assert row["overhead_fraction"] < 0.5
+    reorder = report["predicate_reordering"]
+    assert reorder["rows_selected"] > 0
+    assert reorder["optimized_s"] > 0
+    # The measured speedup is recorded as-is; correctness (identical scalars
+    # under both conjunct orders) is asserted inside the benchmark itself.
+    assert reorder["reorder_speedup"] > 0
+    assert reorder["chunks_skipped"] > 0
+
+
+def test_write_bench_json(tmp_path):
+    path = tmp_path / "BENCH_api_plan.json"
+    report = write_bench_json(str(path), quick=True)
+    on_disk = json.loads(path.read_text())
+    assert on_disk["benchmark"] == report["benchmark"] == "api_plan"
+    assert on_disk["predicate_reordering"]["query"] == "reorder_3_conjuncts"

@@ -282,11 +282,53 @@ class TestJoin:
     def test_join_tables(self, workload):
         orders = Table.from_columns(workload.orders, chunk_size=4096)
         lineitem = Table.from_columns(workload.lineitem, chunk_size=4096)
+        with pytest.warns(DeprecationWarning):
+            out = join_tables(lineitem, orders, "order_id", "order_id",
+                              project_left=["quantity"],
+                              project_right=["customer_id"])
+            assert len(out["left.quantity"]) == len(out["right.customer_id"])
+            # every lineitem matches exactly one order
+            assert len(out["left.quantity"]) == workload.num_lineitems
+
+    def test_join_result_is_queryable(self, workload):
+        from repro.api import col, dataset
+
+        orders = Table.from_columns(workload.orders, chunk_size=4096)
+        lineitem = Table.from_columns(workload.lineitem, chunk_size=4096)
         out = join_tables(lineitem, orders, "order_id", "order_id",
-                          project_left=["quantity"], project_right=["customer_id"])
-        assert len(out["left.quantity"]) == len(out["right.customer_id"])
-        # every lineitem matches exactly one order
-        assert len(out["left.quantity"]) == workload.num_lineitems
+                          project_left=["quantity"],
+                          project_right=["customer_id"])
+        assert out.row_count == workload.num_lineitems
+        assert set(out.column_names) == {"left.quantity", "right.customer_id"}
+
+        # The join output round-trips into a compressed table...
+        table = out.as_table(chunk_size=4096)
+        assert table.row_count == out.row_count
+        # ...and can be queried again through the lazy API.
+        total = (dataset(table)
+                 .agg(col("left.quantity").sum())
+                 .collect()
+                 .scalars["sum(left.quantity)"])
+        assert total == int(out.column("left.quantity").values.sum())
+
+    def test_join_result_deprecated_accessors(self, workload):
+        orders = Table.from_columns(workload.orders, chunk_size=4096)
+        lineitem = Table.from_columns(workload.lineitem, chunk_size=4096)
+        out = join_tables(lineitem, orders, "order_id", "order_id")
+        with pytest.warns(DeprecationWarning):
+            raw = out.to_dict()
+        assert set(raw) == {"left.order_id", "right.order_id"}
+        # Every dict idiom the old return type supported still works (warned).
+        with pytest.warns(DeprecationWarning):
+            assert len(out) == 2
+        with pytest.warns(DeprecationWarning):
+            assert "left.order_id" in out
+        with pytest.warns(DeprecationWarning):
+            assert sorted(out) == ["left.order_id", "right.order_id"]
+        with pytest.warns(DeprecationWarning):
+            assert {name for name, __ in out.items()} == set(out.keys())
+        with pytest.raises(QueryError):
+            out.column("missing")
 
 
 class TestSelectionVector:

@@ -1,0 +1,174 @@
+"""Regression: the `Query` shim is bit-identical to the seed eager engine.
+
+The seed `Query.run()` body (one `scan_table` pass + eager result assembly)
+is re-implemented here verbatim as `seed_run`; every query shape the old API
+supported is executed both ways and compared field by field — column values
+*and dtypes*, scalars, `row_count`, and every `ScanStats` counter including
+the pushdown sub-stats and the plan-cache traffic (caches are warmed first
+so both paths see identical hit patterns).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine import Between, Equals, IsIn, Query, QueryResult
+from repro.engine.operators import aggregate, group_by_aggregate
+from repro.engine.scan import scan_table
+from repro.schemes import (
+    DictionaryEncoding,
+    FrameOfReference,
+    NullSuppression,
+    RunLengthEncoding,
+)
+from repro.storage import Table
+from repro.workloads import generate_orders_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_orders_workload(num_orders=2_500, num_days=365, seed=9)
+
+
+@pytest.fixture(scope="module")
+def table(workload):
+    return Table.from_columns(
+        workload.lineitem,
+        schemes={
+            "ship_date": RunLengthEncoding(),
+            "quantity": NullSuppression(),
+            "discount": DictionaryEncoding(),
+            "price": FrameOfReference(segment_length=256),
+        },
+        chunk_size=2048,
+    )
+
+
+def seed_run(query: Query) -> QueryResult:
+    """The seed engine's `Query.run()` body, reproduced verbatim."""
+    scan = scan_table(query._table, query._predicates,
+                      use_pushdown=query._use_pushdown,
+                      use_zone_maps=query._use_zone_maps,
+                      parallelism=query._parallelism,
+                      materialize=query._needed_columns())
+    selection = scan.selection
+    result = QueryResult(row_count=len(selection), scan_stats=scan.stats)
+
+    if query._group_by is not None:
+        if not query._aggregates:
+            raise AssertionError("group_by() requires at least one aggregate()")
+        keys = scan.columns[query._group_by]
+        for column_name, how in query._aggregates:
+            if column_name == "*":
+                column_name, how = query._group_by, "count"
+            grouped = group_by_aggregate(keys, scan.columns[column_name], how=how)
+            result.columns[query._group_by] = grouped["key"].rename(query._group_by)
+            result.columns[f"{how}({column_name})"] = grouped["aggregate"]
+        return result
+
+    for column_name, how in query._aggregates:
+        if how == "count" and column_name == "*":
+            result.scalars["count(*)"] = len(selection)
+            continue
+        result.scalars[f"{how}({column_name})"] = aggregate(
+            scan.columns[column_name], how)
+
+    if query._projection is not None:
+        result.columns.update({name: scan.columns[name]
+                               for name in query._projection})
+    elif not query._aggregates:
+        result.columns.update({name: scan.columns[name]
+                               for name in query._table.column_names})
+    return result
+
+
+def assert_identical(shim: QueryResult, seed: QueryResult):
+    assert shim.row_count == seed.row_count
+    assert shim.scalars == seed.scalars
+    assert list(shim.columns) == list(seed.columns)
+    for name in seed.columns:
+        left, right = shim.columns[name].values, seed.columns[name].values
+        assert left.dtype == right.dtype, name
+        assert np.array_equal(left, right), name
+    if seed.scan_stats is None:
+        assert shim.scan_stats is None
+        return
+    assert dataclasses.asdict(shim.scan_stats) == dataclasses.asdict(seed.scan_stats)
+
+
+QUERY_BUILDERS = {
+    "filter_aggregate": lambda t, w: Query(t)
+        .filter(Between("ship_date", w.date_range.start + 20,
+                        w.date_range.start + 120))
+        .aggregate("quantity", "sum"),
+    "multi_filter_count": lambda t, w: Query(t)
+        .filter(Between("ship_date", w.date_range.start + 10,
+                        w.date_range.start + 300))
+        .filter(Between("quantity", 5, 30))
+        .filter(IsIn("discount", [2, 3, 5]))
+        .aggregate("*", "count"),
+    "projection": lambda t, w: Query(t)
+        .filter(Equals("discount", 4))
+        .project("quantity", "price"),
+    "group_by_sum_and_count_star": lambda t, w: Query(t)
+        .filter(Between("ship_date", w.date_range.start,
+                        w.date_range.start + 200))
+        .aggregate("quantity", "sum").aggregate("*", "count")
+        .group_by("discount"),
+    "scalars_plus_projection": lambda t, w: Query(t)
+        .filter(Between("quantity", 1, 40))
+        .aggregate("price", "sum").aggregate("price", "mean")
+        .project("discount"),
+    "no_filter_all_columns": lambda t, w: Query(t),
+    "no_pushdown_no_zone_maps": lambda t, w: Query(t)
+        .without_pushdown().without_zone_maps()
+        .filter(Between("ship_date", w.date_range.start + 50,
+                        w.date_range.start + 90))
+        .aggregate("price", "min").aggregate("price", "max"),
+    "parallel": lambda t, w: Query(t)
+        .filter(Between("ship_date", w.date_range.start + 30,
+                        w.date_range.start + 260))
+        .filter(Between("price", 0, 10_000_000))
+        .project("quantity").with_parallelism(3),
+    "empty_projection_count_star": lambda t, w: Query(t)
+        .filter(Equals("discount", 7)).project().aggregate("*", "count"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERY_BUILDERS))
+def test_shim_matches_seed(name, table, workload):
+    build = QUERY_BUILDERS[name]
+    # Warm the compiled-plan caches so both paths observe identical
+    # plan-cache hit/miss counters.
+    build(table, workload).run()
+    seed = seed_run(build(table, workload))
+    shim = build(table, workload).run()
+    assert_identical(shim, seed)
+
+
+def test_shim_duplicate_aggregates_match(table, workload):
+    """The eager API silently overwrote duplicate (column, how) pairs; the
+    shim dedupes to the same observable result."""
+    query = (Query(table)
+             .filter(Between("quantity", 3, 20))
+             .aggregate("price", "sum").aggregate("price", "sum"))
+    result = query.run()
+    seed = seed_run(Query(table).filter(Between("quantity", 3, 20))
+                    .aggregate("price", "sum"))
+    assert result.scalars == seed.scalars
+
+
+def test_shim_group_by_without_aggregate_still_rejected(table):
+    from repro.errors import QueryError
+    with pytest.raises(QueryError):
+        Query(table).group_by("discount").run()
+
+
+def test_shim_empty_selection_aggregate_still_raises(table):
+    from repro.errors import QueryError
+    with pytest.raises(QueryError):
+        (Query(table)
+         .filter(Between("quantity", 10_000, 20_000))
+         .aggregate("price", "sum")
+         .run())

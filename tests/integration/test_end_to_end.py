@@ -87,7 +87,8 @@ class TestQueriesOnCompressedData:
         orders = Table.from_columns(workload.orders, chunk_size=8192)
         joined = join_tables(lineitem, orders, "order_id", "order_id",
                              project_left=["price"], project_right=["order_date"])
-        assert len(joined["left.price"]) == workload.num_lineitems
+        assert len(joined.column("left.price")) == workload.num_lineitems
+        assert joined.row_count == workload.num_lineitems
 
 
 class TestPaperNarrativeEndToEnd:

@@ -1,0 +1,48 @@
+"""Tables built with schemes="auto" round-trip through the scheme registry."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.storage import Table
+from repro.workloads import shipping_dates
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(23)
+    return {
+        "ship_date": shipping_dates(8_192, orders_per_day_mean=40.0, seed=2),
+        "noise": Column(rng.integers(0, 1 << 20, 8_192), name="noise"),
+    }
+
+
+def test_auto_schemes_round_trip(columns):
+    table = Table.from_columns(columns, schemes="auto", chunk_size=1024)
+    materialized = table.materialize()
+    for name, column in columns.items():
+        assert np.array_equal(materialized[name].values, column.values)
+
+
+def test_auto_schemes_actually_compress(columns):
+    table = Table.from_columns(columns, schemes="auto", chunk_size=1024)
+    # The clustered date column must not fall back to Identity everywhere.
+    encodings = set(table.column("ship_date").encodings())
+    assert encodings != {"ID"}
+    assert table.column("ship_date").compression_ratio() > 1.5
+
+
+def test_auto_schemes_from_pydict():
+    table = Table.from_pydict(
+        {"k": np.arange(4_096, dtype=np.int64)}, schemes="auto", chunk_size=512)
+    assert np.array_equal(table.materialize()["k"].values,
+                          np.arange(4_096))
+
+
+def test_explicit_schemes_still_work(columns):
+    from repro.schemes import RunLengthEncoding
+    table = Table.from_columns(columns,
+                               schemes={"ship_date": RunLengthEncoding()},
+                               chunk_size=1024)
+    assert set(table.column("ship_date").encodings()) == {"RLE"}
+    assert set(table.column("noise").encodings()) == {"ID"}

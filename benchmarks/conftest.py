@@ -18,7 +18,6 @@ from repro.workloads import (
     runs_column,
     shipping_dates,
     smooth_measure,
-    step_with_outliers,
     trending_sensor,
     uniform_random,
 )

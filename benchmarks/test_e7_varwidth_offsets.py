@@ -13,7 +13,6 @@ encoding, alongside the theoretical bit-cost lower bound.
 import pytest
 
 from repro.bench import ExperimentReport
-from repro.columnar import Column
 from repro.model import profile_residuals
 from repro.schemes import NullSuppression, VariableWidth
 from repro.workloads import mixed_magnitude_residuals

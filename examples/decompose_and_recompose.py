@@ -112,7 +112,7 @@ def act_three_for_decomposition() -> None:
 
     rebuilt = reassemble_for_from_model_and_residuals(parts["model"], parts["residuals"])
     assert for_scheme.decompress(rebuilt).equals(column)
-    print(f"re-assembled FOR decompresses losslessly: OK")
+    print("re-assembled FOR decompresses losslessly: OK")
     print(f"identity verified mechanically: {FOR_VIA_STEPFUNCTION.verify(column).holds}\n")
 
 

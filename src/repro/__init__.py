@@ -12,6 +12,8 @@ a usable Python library:
 * :mod:`repro.model` — metrics (L∞ / L0 / bit-cost), model fitting, residual
   analysis;
 * :mod:`repro.storage` — chunks, stored columns, tables, statistics;
+* :mod:`repro.io` — the packed single-file table format (mmap-lazy scans)
+  and the directory-level table catalog;
 * :mod:`repro.engine` — predicates, compressed-form pushdown, operators,
   queries;
 * :mod:`repro.api` — the lazy expression DSL (``col``/``lit``), logical
@@ -31,12 +33,13 @@ Quickstart
 [3, 3, 3, 7, 7, 9]
 """
 
+__version__ = "1.1.0"
+
 from .columnar import Column, Plan, PlanBuilder
 from . import columnar, schemes, model, storage, engine, planner, workloads, bench
 from . import api
+from . import io
 from .errors import ReproError
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Column",
@@ -47,6 +50,7 @@ __all__ = [
     "schemes",
     "model",
     "storage",
+    "io",
     "engine",
     "api",
     "planner",

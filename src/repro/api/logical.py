@@ -17,12 +17,12 @@ pruned to what the rest of the plan actually reads.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from ..storage.table import Table
-from .expr import AggExpr, Alias, ColumnRef, Expr
+from .expr import AggExpr, Alias, Expr
 
 __all__ = [
     "LogicalNode",

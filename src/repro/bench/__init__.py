@@ -5,9 +5,11 @@ compiled decompression benchmark (``python -m repro.bench.plan_compile``),
 :mod:`repro.bench.scan_pipeline` the seed-scan-vs-chunk-parallel-scheduler
 benchmark (``python -m repro.bench.scan_pipeline``), and
 :mod:`repro.bench.api_overhead` the lazy-API plan-overhead and
-predicate-reordering benchmark (``python -m repro.bench.api_overhead``);
+predicate-reordering benchmark (``python -m repro.bench.api_overhead``), and
+:mod:`repro.bench.io_scan` the cold-scan benchmark of the packed v2 format
+against the eager v1 loader (``python -m repro.bench.io_scan``);
 they write ``BENCH_plan_compile.json`` / ``BENCH_scan_pipeline.json`` /
-``BENCH_api_plan.json`` for cross-PR perf tracking.
+``BENCH_api_plan.json`` / ``BENCH_io.json`` for cross-PR perf tracking.
 """
 
 from .harness import (

@@ -81,6 +81,35 @@ class Column:
         """An empty column of the given dtype."""
         return Column(np.empty(0, dtype=dtype), name=name)
 
+    @staticmethod
+    def wrap_readonly(values: np.ndarray, name: Optional[str] = None) -> "Column":
+        """Wrap *values* without copying, trusting the caller's buffer.
+
+        ``__init__`` defensively copies any array that has a base or is
+        writeable, which is right for arbitrary caller arrays but defeats
+        zero-copy views over read-only storage (``np.memmap`` slices from the
+        packed file format, :mod:`repro.io`).  This constructor skips the
+        copy; the caller guarantees the backing buffer is never mutated for
+        the lifetime of the column.  Writeable arrays are still copied — only
+        already-read-only views take the zero-copy path.
+        """
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ColumnError(f"a Column must be one-dimensional, got shape {arr.shape}")
+        if not (
+            _dt.is_integer_dtype(arr.dtype)
+            or _dt.is_float_dtype(arr.dtype)
+            or arr.dtype == np.bool_
+        ):
+            raise ColumnError(f"unsupported column dtype: {arr.dtype}")
+        if arr.flags.writeable:
+            arr = arr.copy()
+            arr.setflags(write=False)
+        column = Column.__new__(Column)
+        column._values = arr
+        column._name = name
+        return column
+
     # ------------------------------------------------------------------ #
     # Basic protocol
     # ------------------------------------------------------------------ #

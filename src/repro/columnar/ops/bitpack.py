@@ -19,11 +19,11 @@ from typing import Optional
 
 import numpy as np
 
-_LITTLE_ENDIAN = sys.byteorder == "little"
-
 from ...errors import OperatorError
 from ..column import Column
 from .registry import register_operator
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def _require_width(width: int) -> None:

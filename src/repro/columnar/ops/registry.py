@@ -12,7 +12,7 @@ plans, mirroring the paper's decomposition arguments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ...errors import OperatorError, UnknownOperatorError

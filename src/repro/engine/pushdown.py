@@ -21,7 +21,7 @@ benchmarks can report how much work was avoided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

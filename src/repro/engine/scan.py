@@ -25,6 +25,14 @@ chunk-at-a-time scheduler that evaluates the *whole conjunction* per chunk:
   merge happens in chunk order, so parallel results are bit-identical to
   serial ones.
 
+The scheduler is storage-agnostic about where chunk constituents live: over
+a packed table opened through :mod:`repro.io`, each chunk's compressed form
+is mmap-lazy, so the zone-map decisions above (taken from footer statistics)
+happen **before any file I/O**, a pruned chunk's byte ranges are never
+mapped, and compressed-form pushdown maps only the constituents it reads.
+Nothing here special-cases that — laziness lives behind the
+:class:`~repro.schemes.base.CompressedForm` constituent mapping.
+
 :func:`repro.storage.column_store.gather_rows` (re-exported here) is the
 scheduler's materialisation half on its own: it buckets a position list by
 chunk with one ``searchsorted`` (instead of one boolean mask per chunk) and

@@ -1,0 +1,181 @@
+"""A directory-level catalog of packed tables.
+
+A :class:`Catalog` names multiple packed tables inside one directory and
+opens them lazily: ``catalog.json`` records, per table name, the file it
+lives in plus the cheap metadata (row count, column names, on-disk size) a
+tool needs to list tables *without* opening any of them.  Opening a table
+parses only its footer; scanning it maps only the byte ranges its zone maps
+admit — so a catalog over many large tables costs what you actually query.
+
+::
+
+    cat = Catalog("warehouse")
+    cat.save("lineitem", table)          # writes warehouse/lineitem.rpk
+    cat.names()                          # -> ["lineitem"]
+    ds = dataset(cat.table("lineitem"))  # cold, lazy: footer only
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from ..errors import StorageError
+from ..storage.table import Table
+from .format import FORMAT_VERSION
+from .reader import PackedTableFile
+from .writer import PACKED_SUFFIX, write_packed_table
+
+PathLike = Union[str, Path]
+
+CATALOG_FILE = "catalog.json"
+CATALOG_VERSION = 1
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class Catalog:
+    """Named packed tables in one directory, opened lazily."""
+
+    def __init__(self, root: PathLike, create: bool = True):
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise StorageError(f"{self.root}: catalog directory does not exist")
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._open: Dict[str, PackedTableFile] = {}
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # The catalog file
+    # ------------------------------------------------------------------ #
+
+    @property
+    def catalog_path(self) -> Path:
+        return self.root / CATALOG_FILE
+
+    def refresh(self) -> None:
+        """Re-read ``catalog.json`` (picking up writes by other processes)."""
+        if not self.catalog_path.exists():
+            self._entries = {}
+            return
+        try:
+            document = json.loads(self.catalog_path.read_text())
+        except json.JSONDecodeError as error:
+            raise StorageError(
+                f"{self.catalog_path}: corrupt catalog file ({error})"
+            ) from None
+        version = document.get("catalog_version")
+        if version != CATALOG_VERSION:
+            raise StorageError(
+                f"{self.catalog_path}: unsupported catalog version {version!r}, "
+                f"this library reads version {CATALOG_VERSION}"
+            )
+        self._entries = dict(document.get("tables", {}))
+
+    def _flush(self) -> None:
+        document = {
+            "catalog_version": CATALOG_VERSION,
+            "tables": {name: self._entries[name] for name in sorted(self._entries)},
+        }
+        tmp_path = self.catalog_path.with_name(self.catalog_path.name + ".tmp")
+        tmp_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+        tmp_path.replace(self.catalog_path)
+
+    # ------------------------------------------------------------------ #
+    # Listing (no table I/O at all)
+    # ------------------------------------------------------------------ #
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def info(self, name: str) -> Dict[str, Any]:
+        """The catalog entry of *name*: file, rows, columns, size — metadata
+        only, nothing is opened."""
+        try:
+            return dict(self._entries[name])
+        except KeyError:
+            raise StorageError(
+                f"catalog {self.root} has no table {name!r}; "
+                f"tables: {self.names()}"
+            ) from None
+
+    def path_of(self, name: str) -> Path:
+        return self.root / self.info(name)["file"]
+
+    # ------------------------------------------------------------------ #
+    # Saving and opening
+    # ------------------------------------------------------------------ #
+
+    def save(self, name: str, table: Table, overwrite: bool = True) -> Path:
+        """Write *table* as ``<root>/<name>.rpk`` and register it."""
+        if not _NAME_PATTERN.match(name):
+            raise StorageError(
+                f"invalid table name {name!r}: use letters, digits, '_', '-', '.'"
+            )
+        # Merge the latest on-disk listing first so a save never drops
+        # entries written by another Catalog instance or process (the
+        # read-modify-write below is best-effort, not a file lock).
+        self.refresh()
+        if not overwrite and name in self._entries:
+            raise StorageError(
+                f"catalog {self.root} already has a table {name!r}"
+            )
+        file_name = name + PACKED_SUFFIX
+        path = write_packed_table(table, self.root / file_name)
+        stale = self._open.pop(name, None)
+        if stale is not None:
+            stale.close()
+        self._entries[name] = {
+            "file": file_name,
+            "format_version": FORMAT_VERSION,
+            "row_count": int(table.row_count),
+            "columns": list(table.column_names),
+            "file_size": path.stat().st_size,
+        }
+        self._flush()
+        return path
+
+    def open(self, name: str) -> PackedTableFile:
+        """The open packed file for *name* (footer-only; cached per name)."""
+        handle = self._open.get(name)
+        if handle is None:
+            handle = PackedTableFile(self.path_of(name))
+            self._open[name] = handle
+        return handle
+
+    def table(self, name: str) -> Table:
+        """The (lazy, mmap-backed) table registered under *name*."""
+        return self.open(name).table
+
+    def drop(self, name: str) -> None:
+        """Forget *name* and delete its file."""
+        self.refresh()
+        path = self.path_of(name)
+        handle = self._open.pop(name, None)
+        if handle is not None:
+            handle.close()
+        del self._entries[name]
+        self._flush()
+        if path.exists():
+            path.unlink()
+
+    def close(self) -> None:
+        for handle in self._open.values():
+            handle.close()
+        self._open.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Catalog {self.root} tables={self.names()}>"

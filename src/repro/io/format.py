@@ -1,0 +1,166 @@
+"""On-disk layout of the packed single-file table format (version 2).
+
+A packed table file is one flat byte stream::
+
+    +--------------------------------------------------------------+
+    | header (16 B): MAGIC "RPROPACK", version u32 LE, flags u32   |
+    +--------------------------------------------------------------+
+    | segment 0  (raw little-endian array bytes, 64-B aligned)     |
+    | segment 1                                                    |
+    | ...                                                          |
+    +--------------------------------------------------------------+
+    | footer: one JSON document (UTF-8)                            |
+    +--------------------------------------------------------------+
+    | trailer (24 B): footer offset u64 LE, footer length u64 LE,  |
+    |                 TAIL_MAGIC "RPROPEND"                        |
+    +--------------------------------------------------------------+
+
+Every constituent column of every chunk's compressed form becomes one
+*segment*: the raw bytes of the array, little-endian, padded so each segment
+starts on a :data:`SEGMENT_ALIGNMENT` boundary.  Alignment means a reader can
+hand out ``np.memmap`` views straight into the file (zero copy) for any
+fixed-width dtype, and that a scan which prunes a chunk via its zone map
+never touches that chunk's byte ranges at all.
+
+The footer is self-describing: it records, per column and per chunk, the
+scheme description (rebuildable through the scheme registry), the scalar
+parameters of the compressed form, the persisted
+:class:`~repro.storage.statistics.ColumnStatistics` (the zone maps scans
+prune with *before* any segment I/O), and the ``(offset, nbytes, dtype,
+length)`` of each constituent segment — recursively for nested (cascade)
+forms.  The trailer makes truncation detectable in O(1): a file whose last
+24 bytes do not end in :data:`TAIL_MAGIC` was cut short.
+
+This module holds the constants and the footer (de)serialisation helpers;
+:mod:`repro.io.writer` and :mod:`repro.io.reader` do the byte work.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import StorageError
+
+#: Leading file magic — identifies a packed table file.
+MAGIC = b"RPROPACK"
+
+#: Trailing magic — its absence at EOF means the file was truncated.
+TAIL_MAGIC = b"RPROPEND"
+
+#: Version of the packed format written by this library.
+FORMAT_VERSION = 2
+
+#: Segment start alignment, in bytes.  64 covers every NumPy dtype's
+#: natural alignment and one cache line.
+SEGMENT_ALIGNMENT = 64
+
+#: Fixed sizes of the framing regions.
+HEADER_SIZE = len(MAGIC) + 4 + 4  # magic + version u32 + flags u32
+TRAILER_SIZE = 8 + 8 + len(TAIL_MAGIC)  # footer offset + length + magic
+
+_HEADER_STRUCT = struct.Struct("<8sII")
+_TRAILER_STRUCT = struct.Struct("<QQ8s")
+
+
+def pack_header(version: int = FORMAT_VERSION, flags: int = 0) -> bytes:
+    """The 16-byte file header."""
+    return _HEADER_STRUCT.pack(MAGIC, version, flags)
+
+
+def pack_trailer(footer_offset: int, footer_length: int) -> bytes:
+    """The 24-byte file trailer."""
+    return _TRAILER_STRUCT.pack(footer_offset, footer_length, TAIL_MAGIC)
+
+
+def unpack_header(data: bytes, path: Any) -> int:
+    """Validate the header bytes and return the format version found.
+
+    Raises :class:`StorageError` naming *path* when the magic is wrong or
+    the version is not :data:`FORMAT_VERSION`.
+    """
+    if len(data) < HEADER_SIZE:
+        raise StorageError(
+            f"{path}: truncated packed table file "
+            f"({len(data)} bytes is smaller than the {HEADER_SIZE}-byte header)"
+        )
+    magic, version, _flags = _HEADER_STRUCT.unpack(data[:HEADER_SIZE])
+    if magic != MAGIC:
+        raise StorageError(
+            f"{path}: not a packed table file (leading magic {magic!r}, "
+            f"expected {MAGIC!r})"
+        )
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"{path}: unsupported packed format version {version}, "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    return version
+
+
+def unpack_trailer(data: bytes, file_size: int, path: Any) -> "tuple[int, int]":
+    """Validate the trailer bytes and return ``(footer_offset, footer_length)``.
+
+    Raises :class:`StorageError` naming *path* on a missing tail magic
+    (truncation) or a footer range that does not fit inside the file.
+    """
+    if len(data) < TRAILER_SIZE:
+        raise StorageError(
+            f"{path}: truncated packed table file "
+            f"({file_size} bytes is smaller than the {TRAILER_SIZE}-byte trailer)"
+        )
+    footer_offset, footer_length, tail = _TRAILER_STRUCT.unpack(data[-TRAILER_SIZE:])
+    if tail != TAIL_MAGIC:
+        raise StorageError(
+            f"{path}: truncated or corrupt packed table file "
+            f"(tail magic {tail!r}, expected {TAIL_MAGIC!r})"
+        )
+    footer_end = footer_offset + footer_length
+    if footer_end + TRAILER_SIZE > file_size or footer_offset < HEADER_SIZE:
+        raise StorageError(
+            f"{path}: corrupt packed table file (footer range "
+            f"[{footer_offset}, {footer_end}) does not fit "
+            f"a {file_size}-byte file)"
+        )
+    return footer_offset, footer_length
+
+
+def aligned(offset: int, alignment: int = SEGMENT_ALIGNMENT) -> int:
+    """The smallest multiple of *alignment* that is ``>= offset``."""
+    return -(-offset // alignment) * alignment
+
+
+def little_endian(dtype: np.dtype) -> np.dtype:
+    """The little-endian flavour of *dtype* (identity for 1-byte dtypes)."""
+    dtype = np.dtype(dtype)
+    return dtype.newbyteorder("<") if dtype.byteorder == ">" else dtype
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert NumPy scalars (in dicts/lists too) for ``json``.
+
+    Shared with the v1 manifest writer so both formats serialise scalar
+    parameters identically (one converter, no drift).
+    """
+    from ..storage.serialization import _json_safe
+
+    return _json_safe(value)
+
+
+def encode_footer(footer: Dict[str, Any]) -> bytes:
+    """Serialise the footer document to bytes."""
+    return json.dumps(json_safe(footer), sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_footer(data: bytes, path: Any) -> Dict[str, Any]:
+    """Parse the footer document, raising :class:`StorageError` on garbage."""
+    try:
+        footer = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise StorageError(f"{path}: corrupt packed table footer ({error})") from None
+    if not isinstance(footer, dict) or "columns" not in footer:
+        raise StorageError(f"{path}: packed table footer is not a table description")
+    return footer

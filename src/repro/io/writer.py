@@ -1,0 +1,139 @@
+"""Writing tables into the packed single-file format (v2).
+
+The writer walks a :class:`~repro.storage.table.Table` column by column,
+chunk by chunk, and streams every constituent column of every compressed
+form into the file as one aligned *segment* of raw little-endian bytes.
+The metadata — scheme descriptions, form parameters, chunk statistics and
+the ``(offset, nbytes, dtype, length)`` of every segment — accumulates into
+the JSON footer, written last, followed by the fixed trailer.
+
+Nothing is buffered beyond one segment's bytes: a table much larger than
+memory could be streamed, chunk at a time, as long as its ``Table`` object
+can be held (compressed) in memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, Union
+
+import numpy as np
+
+from .. import __version__
+from ..errors import StorageError
+from ..schemes.base import CompressedForm
+from ..storage.chunk import ColumnChunk
+from ..storage.column_store import StoredColumn
+from ..storage.serialization import describe_scheme
+from ..storage.table import Table
+from .format import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    SEGMENT_ALIGNMENT,
+    aligned,
+    encode_footer,
+    json_safe,
+    little_endian,
+    pack_header,
+    pack_trailer,
+)
+
+PathLike = Union[str, Path]
+
+#: Conventional file suffix for packed tables (not enforced on read).
+PACKED_SUFFIX = ".rpk"
+
+
+class _SegmentStream:
+    """Appends aligned segments to *handle*, tracking the running offset."""
+
+    def __init__(self, handle: BinaryIO, offset: int):
+        self._handle = handle
+        self.offset = offset
+
+    def append(self, values: np.ndarray, name: str) -> Dict[str, Any]:
+        """Write one constituent array; return its segment descriptor."""
+        arr = np.ascontiguousarray(values)
+        dtype = little_endian(arr.dtype)
+        if dtype != arr.dtype:
+            arr = arr.astype(dtype)
+        start = aligned(self.offset)
+        if start > self.offset:
+            self._handle.write(b"\x00" * (start - self.offset))
+        data = arr.tobytes()
+        self._handle.write(data)
+        self.offset = start + len(data)
+        return {
+            "name": name,
+            "offset": start,
+            "nbytes": len(data),
+            "dtype": dtype.str,
+            "length": int(arr.shape[0]),
+        }
+
+
+def _write_form(form: CompressedForm, stream: _SegmentStream) -> Dict[str, Any]:
+    """Stream a compressed form's constituents; return its footer descriptor."""
+    segments = {name: stream.append(col.values, name) for name, col in form.columns.items()}
+    nested = {name: _write_form(sub, stream) for name, sub in form.nested.items()}
+    return {
+        "scheme": form.scheme,
+        "parameters": json_safe(form.parameters),
+        "original_length": int(form.original_length),
+        "original_dtype": np.dtype(form.original_dtype).str,
+        "segments": segments,
+        "nested": nested,
+    }
+
+
+def _write_chunk(chunk: ColumnChunk, stream: _SegmentStream) -> Dict[str, Any]:
+    return {
+        "row_offset": int(chunk.row_offset),
+        "row_count": int(chunk.row_count),
+        "scheme": describe_scheme(chunk.scheme),
+        "statistics": json_safe(vars(chunk.statistics)),
+        "form": _write_form(chunk.form, stream),
+    }
+
+
+def _write_column(column: StoredColumn, stream: _SegmentStream) -> Dict[str, Any]:
+    return {
+        "name": column.name,
+        "dtype": np.dtype(column.dtype).str,
+        "chunks": [_write_chunk(chunk, stream) for chunk in column.iter_chunks()],
+    }
+
+
+def write_packed_table(table: Table, path: PathLike) -> Path:
+    """Write *table* as one packed file at *path* (parents created).
+
+    Returns the path written.  The write is atomic at the filesystem level:
+    bytes go to ``<path>.tmp`` first and are renamed into place, so a
+    crashed write never leaves a half-file under the final name.
+    """
+    if not isinstance(table, Table):
+        raise StorageError("write_packed_table() expects a Table")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(pack_header())
+            stream = _SegmentStream(handle, HEADER_SIZE)
+            columns = [_write_column(table.column(name), stream) for name in table.column_names]
+            footer = {
+                "format_version": FORMAT_VERSION,
+                "writer": f"repro {__version__}",
+                "segment_alignment": SEGMENT_ALIGNMENT,
+                "row_count": int(table.row_count),
+                "columns": columns,
+            }
+            footer_bytes = encode_footer(footer)
+            footer_offset = stream.offset
+            handle.write(footer_bytes)
+            handle.write(pack_trailer(footer_offset, len(footer_bytes)))
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    tmp_path.replace(path)
+    return path

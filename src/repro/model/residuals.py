@@ -24,7 +24,6 @@ from typing import Dict, Literal
 import numpy as np
 
 from ..columnar.column import Column
-from . import metrics
 from .fitting import SegmentedModel
 
 ResidualEncoding = Literal["none", "fixed_width", "patched", "variable_width"]

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
-
 from ..columnar.column import Column
 from ..columnar.plan import Plan, PlanBuilder
 from .base import CompressedForm, CompressionScheme

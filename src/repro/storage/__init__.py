@@ -4,6 +4,12 @@ This package carries the "implementation-specific adornments" the paper's
 pure-columns view deliberately strips from compressed forms: fixed-size
 chunking, per-chunk statistics (zone maps), per-chunk encoding choices, and
 the table abstraction the examples and query engine work against.
+
+Durable storage lives in :mod:`repro.io` (the packed single-file v2 format
+with mmap-lazy scans, plus the table catalog); ``save_table`` and
+``load_table`` are re-exported here for convenience.  The loose-``.npy``
+v1 writers below (``write_form`` .. ``read_table``) remain readable but are
+deprecated in favour of the packed format.
 """
 
 from .chunk import ColumnChunk
@@ -33,4 +39,15 @@ __all__ = [
     "read_stored_column",
     "write_table",
     "read_table",
+    "save_table",
+    "load_table",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-exports from repro.io (which imports this package) — PEP 562
+    # keeps the import graph acyclic.
+    if name in ("save_table", "load_table"):
+        from .. import io
+        return getattr(io, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,7 +10,7 @@ its statistics, and its position in the column.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..columnar.column import Column

@@ -6,12 +6,18 @@ scheme was chosen for it (all chunks may share one scheme, or the advisor
 may pick per chunk).  It exposes enough structure for the query engine to
 work chunk-at-a-time — the standard vectorised execution granularity — and
 to push predicates down to chunk statistics and compressed forms.
+
+A stored column does not care where its chunks' constituents live: built
+from memory they are plain arrays, loaded from a packed file
+(:mod:`repro.io`) they are mmap-backed lazy segments that materialise on
+first access — either way the engine sees the same
+:class:`~repro.storage.chunk.ColumnChunk` interface.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -1,4 +1,4 @@
-"""Persisting compressed columns and tables to disk.
+"""Persisting compressed columns and tables to disk (v1, deprecated).
 
 A compressed form is just named columns plus scalar parameters, so
 persistence is deliberately boring: each stored column becomes a directory
@@ -10,10 +10,14 @@ boundaries.  Loading rebuilds the scheme objects through the registry
 :class:`~repro.storage.column_store.StoredColumn` / :class:`~repro.storage.
 table.Table` objects — the on-disk format *is* the paper's pure-columns view.
 
-The format is self-describing and versioned; it is not meant to compete with
-a real columnar file format (no footers, no encryption, no statistics pages
-beyond what the chunks carry), just to make compressed data durable and to
-let the examples and tests exercise a full write → read → query cycle.
+This loose-directory layout is the **deprecated v1 format**: it reloads
+tables eagerly and fully, so a cold query pays for every chunk of every
+column.  Durable tables now live in :mod:`repro.io` — a versioned packed
+single-file format whose scans are mmap-lazy — and
+:func:`repro.io.load_table` keeps v1 directories readable (with a
+:class:`DeprecationWarning`; :func:`repro.io.migrate_v1` converts in one
+call).  The scheme-description helpers (:func:`describe_scheme` /
+:func:`rebuild_scheme`) are shared by both formats and are not deprecated.
 """
 
 from __future__ import annotations
@@ -63,6 +67,29 @@ def rebuild_scheme(description: Dict[str, Any]) -> CompressionScheme:
     return make_scheme(description["name"], **description["parameters"])
 
 
+def _load_manifest(manifest_path: Path, what: str) -> Dict[str, Any]:
+    """Parse a v1 JSON manifest, with clear errors naming the path.
+
+    Garbage JSON and version mismatches both raise :class:`StorageError`
+    (naming the path and the found vs. expected version) instead of leaking
+    an opaque ``json``/``KeyError`` to the caller.
+    """
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise StorageError(
+            f"{manifest_path}: corrupt {what} manifest ({error})"
+        ) from None
+    found = manifest.get("format_version")
+    if found != FORMAT_VERSION:
+        raise StorageError(
+            f"{manifest_path}: unsupported {what} format version {found!r}, "
+            f"this reader handles version {FORMAT_VERSION} "
+            "(packed v2 files are read by repro.io.load_table)"
+        )
+    return manifest
+
+
 # --------------------------------------------------------------------------- #
 # Compressed forms
 # --------------------------------------------------------------------------- #
@@ -76,6 +103,8 @@ def _json_safe(value: Any) -> Any:
         return bool(value)
     if isinstance(value, dict):
         return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
     return value
 
 
@@ -105,11 +134,7 @@ def read_form(directory: PathLike) -> CompressedForm:
     manifest_path = directory / "form.json"
     if not manifest_path.exists():
         raise StorageError(f"{directory} does not contain a compressed form manifest")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise StorageError(
-            f"unsupported form format version {manifest.get('format_version')!r}"
-        )
+    manifest = _load_manifest(manifest_path, "compressed form")
     columns = {
         name: Column(np.load(directory / f"{name}.npy", allow_pickle=False), name=name)
         for name in manifest["columns"]
@@ -158,7 +183,7 @@ def read_stored_column(directory: PathLike) -> StoredColumn:
     manifest_path = directory / "column.json"
     if not manifest_path.exists():
         raise StorageError(f"{directory} does not contain a stored-column manifest")
-    manifest = json.loads(manifest_path.read_text())
+    manifest = _load_manifest(manifest_path, "stored-column")
     chunks = []
     for chunk_manifest in manifest["chunks"]:
         form = read_form(directory / chunk_manifest["directory"])
@@ -189,7 +214,7 @@ def read_table(directory: PathLike) -> Table:
     manifest_path = directory / "table.json"
     if not manifest_path.exists():
         raise StorageError(f"{directory} does not contain a table manifest")
-    manifest = json.loads(manifest_path.read_text())
+    manifest = _load_manifest(manifest_path, "table")
     columns = {name: read_stored_column(directory / name) for name in manifest["columns"]}
     table = Table(columns)
     if table.row_count != manifest["row_count"]:

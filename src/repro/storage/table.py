@@ -15,7 +15,6 @@ import numpy as np
 
 from ..columnar.column import Column
 from ..errors import StorageError
-from ..schemes.base import CompressionScheme
 from .column_store import DEFAULT_CHUNK_SIZE, SchemeChooser, StoredColumn
 
 

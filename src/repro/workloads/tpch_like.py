@@ -16,7 +16,7 @@ experiments depend on (see DESIGN.md's substitution note).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

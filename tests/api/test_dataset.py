@@ -1,7 +1,5 @@
 """End-to-end tests for the lazy `Dataset` API against NumPy references."""
 
-import re
-
 import numpy as np
 import pytest
 

@@ -6,7 +6,6 @@ import pytest
 from repro.api.expr import (
     Alias,
     BooleanAnd,
-    BooleanNot,
     BooleanOr,
     Comparison,
     col,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.api import Dataset, col, count, dataset
+from repro.api import col, dataset
 from repro.errors import QueryError
 from repro.storage import Table
 

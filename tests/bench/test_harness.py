@@ -1,7 +1,5 @@
 """Tests for the benchmark harness utilities."""
 
-import pytest
-
 from repro.bench import (
     ExperimentReport,
     compare_schemes,

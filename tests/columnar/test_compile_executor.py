@@ -1,11 +1,8 @@
 """Tests for the compiled-plan executor and the compile caches."""
-
-import numpy as np
 import pytest
 
 from repro.columnar import Column
 from repro.columnar.compile import (
-    CompiledPlan,
     cache_info,
     clear_caches,
     clear_generated_column_cache,

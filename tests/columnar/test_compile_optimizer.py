@@ -1,7 +1,6 @@
 """Tests for the plan optimizer's rewrite passes."""
 
 import numpy as np
-import pytest
 
 from repro.columnar import Column
 from repro.columnar.compile import (
@@ -14,7 +13,7 @@ from repro.columnar.compile import (
     scalarize_constant_operands,
 )
 from repro.columnar.compile.optimizer import deterministic_steps
-from repro.columnar.plan import LengthOf, Plan, PlanBuilder, PlanStep, ScalarAt
+from repro.columnar.plan import LengthOf, PlanBuilder, ScalarAt
 from repro.schemes.for_ import build_for_decompression_plan
 from repro.schemes.rle import build_rle_decompression_plan
 

@@ -1,6 +1,4 @@
 """Tests for the plan representation, evaluation and decomposition surgery."""
-
-import numpy as np
 import pytest
 
 from repro.columnar import (

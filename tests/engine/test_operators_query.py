@@ -16,7 +16,6 @@ from repro.engine import (
     join_tables,
 )
 from repro.errors import QueryError
-from repro.planner import choose_scheme
 from repro.schemes import DictionaryEncoding, FrameOfReference, NullSuppression, RunLengthEncoding
 from repro.storage import Table
 from repro.workloads import generate_orders_workload

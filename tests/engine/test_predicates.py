@@ -1,10 +1,8 @@
 """Tests for predicates and their zone-map (chunk statistics) decisions."""
-
-import numpy as np
 import pytest
 
 from repro.columnar import Column
-from repro.engine import And, Between, Equals, IsIn, Or, RangeBounds
+from repro.engine import Between, Equals, IsIn, RangeBounds
 from repro.errors import QueryError
 from repro.storage import compute_statistics
 

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro.columnar import Column
 from repro.engine import Between, Query, join_tables
 from repro.planner import advise, choose_scheme, plan_for_intent
 from repro.schemes import (

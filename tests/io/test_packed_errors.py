@@ -1,0 +1,190 @@
+"""Error handling of the packed format: truncation, bad versions, v1 shim."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.io import load_table, migrate_v1, open_table, save_table
+from repro.io.format import FORMAT_VERSION, HEADER_SIZE, MAGIC
+from repro.schemes import NullSuppression, RunLengthEncoding
+from repro.storage import Table, write_table
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(9)
+    return Table.from_pydict(
+        {
+            "k": np.sort(rng.integers(0, 50, 3_000)).astype(np.int64),
+            "v": rng.integers(0, 500, 3_000).astype(np.int64),
+        },
+        schemes={"k": RunLengthEncoding(), "v": NullSuppression()},
+        chunk_size=512,
+    )
+
+
+@pytest.fixture
+def packed_path(tmp_path, table):
+    return save_table(table, tmp_path / "t.rpk")
+
+
+class TestTruncation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.rpk"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError) as excinfo:
+            load_table(path)
+        assert "empty.rpk" in str(excinfo.value)
+        assert "truncated" in str(excinfo.value)
+
+    def test_header_only(self, tmp_path, packed_path):
+        path = tmp_path / "headonly.rpk"
+        path.write_bytes(packed_path.read_bytes()[:HEADER_SIZE])
+        with pytest.raises(StorageError, match="truncated"):
+            load_table(path)
+
+    @pytest.mark.parametrize("keep_fraction", [0.25, 0.5, 0.9, 0.99])
+    def test_cut_anywhere_in_the_middle(self, tmp_path, packed_path, keep_fraction):
+        blob = packed_path.read_bytes()
+        path = tmp_path / "cut.rpk"
+        path.write_bytes(blob[:int(len(blob) * keep_fraction)])
+        with pytest.raises(StorageError) as excinfo:
+            load_table(path)
+        message = str(excinfo.value)
+        assert "cut.rpk" in message
+        assert "truncated" in message or "corrupt" in message
+
+    def test_lost_trailing_byte(self, tmp_path, packed_path):
+        blob = packed_path.read_bytes()
+        path = tmp_path / "short.rpk"
+        path.write_bytes(blob[:-1])
+        with pytest.raises(StorageError, match="truncated|corrupt"):
+            load_table(path)
+
+
+class TestVersions:
+    def test_unknown_header_version_names_both_versions(self, tmp_path, packed_path):
+        blob = bytearray(packed_path.read_bytes())
+        blob[len(MAGIC)] = 77  # the version u32 starts right after the magic
+        path = tmp_path / "future.rpk"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError) as excinfo:
+            load_table(path)
+        message = str(excinfo.value)
+        assert "future.rpk" in message
+        assert "version 77" in message
+        assert f"version {FORMAT_VERSION}" in message
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "random.bin"
+        path.write_bytes(b"PARQUET1" + b"\x00" * 100)
+        with pytest.raises(StorageError, match="not a packed table file"):
+            load_table(path)
+
+    def test_corrupt_footer_json(self, tmp_path, packed_path):
+        blob = packed_path.read_bytes()
+        # Locate the footer via the trailer and stomp on its first byte.
+        import struct
+        footer_offset, footer_length, _tail = struct.unpack(
+            "<QQ8s", blob[-24:])
+        corrupted = bytearray(blob)
+        corrupted[footer_offset] = 0xFF
+        path = tmp_path / "badfooter.rpk"
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(StorageError, match="corrupt packed table footer"):
+            load_table(path)
+
+    def test_missing_path(self, tmp_path):
+        with pytest.raises(StorageError, match="no such packed table"):
+            open_table(tmp_path / "nope.rpk")
+
+
+class TestV1Shim:
+    def test_v1_directory_loads_with_deprecation_warning(self, tmp_path, table):
+        write_table(table, tmp_path / "v1")
+        with pytest.warns(DeprecationWarning, match="v1 directory-format"):
+            loaded = load_table(tmp_path / "v1")
+        assert loaded.row_count == table.row_count
+        for name in table.column_names:
+            assert loaded.column(name).materialize().equals(
+                table.column(name).materialize())
+
+    def test_migrate_v1_to_packed(self, tmp_path, table):
+        write_table(table, tmp_path / "v1")
+        path = migrate_v1(tmp_path / "v1", tmp_path / "migrated.rpk")
+        packed = open_table(path)
+        assert packed.bytes_mapped == 0
+        for name in table.column_names:
+            assert packed.table.column(name).materialize().equals(
+                table.column(name).materialize())
+
+    def test_directory_without_manifest_rejected(self, tmp_path):
+        (tmp_path / "stuff").mkdir()
+        with pytest.raises(StorageError, match="neither a packed table file"):
+            load_table(tmp_path / "stuff")
+
+    def test_v1_unknown_version_names_path_and_versions(self, tmp_path, table):
+        write_table(table, tmp_path / "v1")
+        manifest_path = tmp_path / "v1" / "table.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 9
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(StorageError) as excinfo:
+                load_table(tmp_path / "v1")
+        message = str(excinfo.value)
+        assert "table.json" in message
+        assert "version 9" in message
+        assert "version 1" in message
+
+    def test_v1_corrupt_manifest_is_a_storage_error(self, tmp_path, table):
+        write_table(table, tmp_path / "v1")
+        (tmp_path / "v1" / "table.json").write_text("{oops")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(StorageError, match="corrupt table manifest"):
+                load_table(tmp_path / "v1")
+
+    def test_open_table_on_directory_is_clear(self, tmp_path, table):
+        write_table(table, tmp_path / "v1")
+        with pytest.raises(StorageError, match="is a directory"):
+            open_table(tmp_path / "v1")
+
+
+class TestSegmentValidation:
+    def test_segment_past_eof_detected_lazily(self, tmp_path, packed_path):
+        """Footer intact but segment bytes missing: error on access, with path."""
+        blob = packed_path.read_bytes()
+        import struct
+        footer_offset, footer_length, _tail = struct.unpack("<QQ8s", blob[-24:])
+        footer = json.loads(blob[footer_offset:footer_offset + footer_length])
+        # Point one segment beyond the file end.
+        segment = footer["columns"][0]["chunks"][0]["form"]["segments"]
+        first = next(iter(segment.values()))
+        first["offset"] = len(blob) + 1024
+        new_footer = json.dumps(footer).encode()
+        path = tmp_path / "dangling.rpk"
+        path.write_bytes(blob[:footer_offset] + new_footer
+                         + struct.pack("<QQ8s", footer_offset, len(new_footer),
+                                       b"RPROPEND"))
+        packed = open_table(path)  # metadata parses fine
+        with pytest.raises(StorageError, match="dangling.rpk.*truncated"):
+            packed.table.column(packed.column_names[0]).materialize()
+
+    def test_segment_size_mismatch_detected(self, tmp_path, packed_path):
+        blob = packed_path.read_bytes()
+        import struct
+        footer_offset, footer_length, _tail = struct.unpack("<QQ8s", blob[-24:])
+        footer = json.loads(blob[footer_offset:footer_offset + footer_length])
+        segment = footer["columns"][0]["chunks"][0]["form"]["segments"]
+        first = next(iter(segment.values()))
+        first["nbytes"] = first["nbytes"] + 3  # no longer length * itemsize
+        new_footer = json.dumps(footer).encode()
+        path = tmp_path / "mismatch.rpk"
+        path.write_bytes(blob[:footer_offset] + new_footer
+                         + struct.pack("<QQ8s", footer_offset, len(new_footer),
+                                       b"RPROPEND"))
+        packed = open_table(path)
+        with pytest.raises(StorageError, match="declares"):
+            packed.table.column(packed.column_names[0]).materialize()

@@ -5,7 +5,6 @@ import pytest
 
 from repro.columnar import Column
 from repro.model import (
-    ResidualProfile,
     fit_step_function,
     profile_model_fit,
     profile_residuals,

@@ -6,7 +6,6 @@ import pytest
 from repro.columnar import Column
 from repro.errors import PlanningError
 from repro.planner import (
-    AdvisorReport,
     advise,
     choose_scheme,
     default_candidates,

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.columnar import Column
-from repro.columnar.compile import compiled_plan, optimize
+from repro.columnar.compile import compiled_plan
 from repro.schemes.composite import Cascade
 from repro.schemes.decomposition import surgery_commutes_with_optimization
 from repro.schemes.for_ import build_for_decompression_plan

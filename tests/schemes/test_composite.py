@@ -7,7 +7,6 @@ from repro.columnar import Column
 from repro.errors import DecompressionError, SchemeParameterError
 from repro.schemes import (
     Cascade,
-    CompressedForm,
     Delta,
     Identity,
     NullSuppression,

@@ -10,9 +10,7 @@ from repro.schemes import (
     PatchedFrameOfReference,
     PiecewiseLinear,
     PiecewisePolynomial,
-    StepFunctionModel,
-    build_for_decompression_plan,
-)
+    StepFunctionModel)
 
 
 class TestFrameOfReference:

@@ -1,9 +1,5 @@
 """Tests for persisting compressed forms, columns and tables to disk."""
-
-import numpy as np
 import pytest
-
-from repro.columnar import Column
 from repro.errors import StorageError
 from repro.schemes import (
     Cascade,

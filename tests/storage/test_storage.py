@@ -5,7 +5,7 @@ import pytest
 
 from repro.columnar import Column
 from repro.errors import StorageError
-from repro.schemes import Delta, FrameOfReference, NullSuppression, RunLengthEncoding
+from repro.schemes import Delta, NullSuppression, RunLengthEncoding
 from repro.storage import (
     ColumnChunk,
     StoredColumn,

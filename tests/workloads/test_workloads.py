@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro.columnar import Column
 from repro.errors import ReproError
 from repro.workloads import (
     generate_orders_workload,

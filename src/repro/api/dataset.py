@@ -206,6 +206,16 @@ class Dataset:
         """Disable zone-map chunk skipping (benchmark baseline mode)."""
         return self._replace_options(use_zone_maps=False)
 
+    def without_compressed_execution(self) -> "Dataset":
+        """Disable compressed-domain aggregates and gathers (baseline mode).
+
+        Aggregate inputs then materialise through the scan and reduce on
+        decompressed values — the decompress-then-compute path the
+        ``compressed_exec`` benchmark compares against.  Results are
+        bit-identical either way.
+        """
+        return self._replace_options(use_compressed_exec=False)
+
     def without_optimizer_reordering(self) -> "Dataset":
         """Keep filter conjuncts in source order (benchmark baseline mode)."""
         return self._replace_options(preserve_filter_order=True)
@@ -246,6 +256,12 @@ class Dataset:
                 lines.append(f"{pad}  derive {name} = {expr!r}")
             return
         lines.append(pad + node.label())
+        if isinstance(node, logical.Aggregate):
+            from .lower import aggregate_execution_domains
+
+            for label, domain in aggregate_execution_domains(node,
+                                                             self._options):
+                lines.append(f"{pad}  agg {label} [{domain}]")
         for child in node.children():
             self._render(child, lines, indent + 1)
 

@@ -384,6 +384,11 @@ class Conjunct:
     interval-arithmetic zone-map decisions), or ``"rows"`` (a multi-column
     row filter evaluated against the chunk-aligned buffers of every column
     it references).
+
+    ``domain`` records where the conjunct will actually evaluate:
+    ``"compressed"`` when every chunk of its column advertises the range
+    kernel (so the scan never decompresses for it), ``"decompress"``
+    otherwise; ``None`` when not annotated.
     """
 
     expr: Expr
@@ -393,9 +398,12 @@ class Conjunct:
     lowered: Optional[object] = None
     selectivity: Optional[float] = None
     source_order: int = 0
+    domain: Optional[str] = None
 
     def describe(self) -> str:
         note = [self.kind]
+        if self.domain is not None:
+            note.append(self.domain)
         if self.selectivity is not None:
             note.append(f"est. sel {self.selectivity:.3f}")
         return f"{self.expr!r}  [{', '.join(note)}]"

@@ -32,9 +32,10 @@ import numpy as np
 from ..columnar.column import Column
 from ..errors import QueryError
 from ..engine.operators import ScanStats, aggregate as scalar_aggregate, \
-    grouped_reduce, hash_join
+    aggregate_stored, gather_stored, group_codes_stored, grouped_reduce, \
+    hash_join
 from ..engine.predicates import Between, Equals, IsIn, Predicate
-from ..engine.scan import scan_table
+from ..engine.scan import _pushable_bounds, scan_table
 from ..storage.table import Table
 from . import logical
 from .expr import (
@@ -72,6 +73,20 @@ class LoweringOptions:
     #: estimated selectivity.  Used by the ``Query`` compatibility shim to
     #: stay bit-identical (including ``ScanStats``) with the seed engine.
     preserve_filter_order: bool = False
+    #: Route eligible aggregates and sparse gathers through the
+    #: compressed-domain kernels (:mod:`repro.engine.kernels`): scalar and
+    #: grouped sum/min/max/count over bare columns of capable schemes skip
+    #: materialisation entirely, and group-by over dictionary-coded keys
+    #: reuses the codes as group codes.  Results are bit-identical; disable
+    #: for a decompress-then-compute baseline (benchmarks).
+    use_compressed_exec: bool = True
+    #: ``Query``-shim compatibility: keep aggregates on the materialising
+    #: path (their inputs flow through the scan) so ``ScanStats`` stays
+    #: field-for-field identical to the seed engine's one-scan execution,
+    #: while scan-internal compressed execution remains whatever
+    #: ``use_compressed_exec`` says (the seed comparison re-runs the same
+    #: scheduler).  Not a user-facing knob.
+    materialize_aggregates: bool = False
 
 
 # --------------------------------------------------------------------------- #
@@ -239,6 +254,22 @@ def to_native_predicate(expr: Expr, table: Table) -> Optional[Predicate]:
     return None
 
 
+def _filter_domain(table: Table, predicate: Predicate) -> str:
+    """Where a native conjunct will evaluate: ``"compressed"`` when every
+    chunk of its column advertises the range kernel (including cascaded
+    forms, via capability delegation), ``"decompress"`` otherwise."""
+    from ..engine import kernels
+    from ..schemes.base import KERNEL_FILTER_RANGE
+
+    if _pushable_bounds(predicate) is None:
+        return "decompress"
+    stored = table.column(predicate.column_name)
+    if all(kernels.supports(chunk.scheme, chunk.form, KERNEL_FILTER_RANGE)
+           for chunk in stored.chunks):
+        return "compressed"
+    return "decompress"
+
+
 def classify_conjunct(expr: Expr, table: Table, source_order: int
                       ) -> logical.Conjunct:
     """Classify one CNF conjunct into native / expr / rows and build its
@@ -246,7 +277,8 @@ def classify_conjunct(expr: Expr, table: Table, source_order: int
     native = to_native_predicate(expr, table)
     if native is not None:
         return logical.Conjunct(expr=expr, kind="native", lowered=native,
-                                source_order=source_order)
+                                source_order=source_order,
+                                domain=_filter_domain(table, native))
     referenced = expr.columns()
     trusted = {name: np.issubdtype(table.column(name).dtype, np.integer)
                for name in referenced}
@@ -258,7 +290,7 @@ def classify_conjunct(expr: Expr, table: Table, source_order: int
         lowered = ExprRowFilter(expr, trusted)
         kind = "rows"
     return logical.Conjunct(expr=expr, kind=kind, lowered=lowered,
-                            source_order=source_order)
+                            source_order=source_order, domain="decompress")
 
 
 # --------------------------------------------------------------------------- #
@@ -318,9 +350,8 @@ def _empty_scan_frame(node: logical.PScan) -> Frame:
     return Frame(columns=columns, row_count=0)
 
 
-def _exec_pscan(node: logical.PScan, options: LoweringOptions) -> Frame:
-    if node.always_empty:
-        return _empty_scan_frame(node)
+def _split_conjuncts(node: logical.PScan
+                     ) -> Tuple[List[Predicate], List[ExprRowFilter]]:
     predicates: List[Predicate] = []
     row_filters: List[ExprRowFilter] = []
     for conjunct in node.conjuncts:
@@ -328,6 +359,13 @@ def _exec_pscan(node: logical.PScan, options: LoweringOptions) -> Frame:
             row_filters.append(conjunct.lowered)  # type: ignore[arg-type]
         else:
             predicates.append(conjunct.lowered)  # type: ignore[arg-type]
+    return predicates, row_filters
+
+
+def _exec_pscan(node: logical.PScan, options: LoweringOptions) -> Frame:
+    if node.always_empty:
+        return _empty_scan_frame(node)
+    predicates, row_filters = _split_conjuncts(node)
     derive = [(name, ExprDerive(expr)) for name, expr in node.derived]
     scan = scan_table(node.table, predicates,
                       use_pushdown=options.use_pushdown,
@@ -335,7 +373,8 @@ def _exec_pscan(node: logical.PScan, options: LoweringOptions) -> Frame:
                       parallelism=options.parallelism,
                       materialize=node.materialize,
                       row_filters=row_filters,
-                      derive=derive)
+                      derive=derive,
+                      use_compressed_exec=options.use_compressed_exec)
     columns = {name: scan.columns[name] for name in node.output}
     return Frame(columns=columns, row_count=len(scan.selection),
                  stats_list=[scan.stats] if scan.stats is not None else [])
@@ -394,7 +433,168 @@ def _factorize(arrays: Sequence[np.ndarray]) -> Tuple[List[np.ndarray], np.ndarr
     return [array[starts] for array in sorted_arrays], codes
 
 
+_COMPRESSED_AGG_OPS = ("count", "sum", "min", "max")
+
+
+def _column_fully_capable(table: Table, name: str, kernel: str) -> bool:
+    from ..engine import kernels
+
+    stored = table.column(name)
+    return all(kernels.supports(chunk.scheme, chunk.form, kernel)
+               for chunk in stored.chunks)
+
+
+def compressed_aggregate_plan(node: logical.Aggregate,
+                              options: LoweringOptions
+                              ) -> Optional[Dict[str, Any]]:
+    """Decide whether *node* can execute on compressed inputs.
+
+    Eligible when the child is a scan with no derived columns, every
+    aggregate is count/sum/min/max over a bare base column (or ``count(*)``),
+    grouping uses at most one bare key whose chunks all expose group codes,
+    and every sum/min/max operand column is fully gather-capable — so the
+    scan only has to produce a selection, and the aggregate inputs never
+    materialise table-wide.  Returns the execution spec, or ``None`` to use
+    the materialising path.  ``explain()`` uses the same decision via
+    :func:`aggregate_execution_domains`, so the report cannot drift from the
+    executor.
+    """
+    from ..schemes.base import KERNEL_GATHER, KERNEL_GROUP_CODES
+
+    if not options.use_compressed_exec or options.materialize_aggregates:
+        return None
+    child = node.child
+    if not isinstance(child, logical.PScan) or child.always_empty \
+            or child.derived:
+        return None
+    table = child.table
+
+    key_name: Optional[str] = None
+    if node.keys:
+        if len(node.keys) != 1 or not isinstance(node.keys[0], ColumnRef):
+            return None
+        key_name = node.keys[0].name
+        if not _column_fully_capable(table, key_name, KERNEL_GROUP_CODES):
+            return None
+
+    aggregates: List[Tuple[str, str, Optional[str]]] = []
+    for agg in node.aggregates:
+        core = logical.unwrap_alias(agg)
+        if not isinstance(core, AggExpr) or core.op not in _COMPRESSED_AGG_OPS:
+            return None
+        if core.operand is None:
+            aggregates.append((agg.output_name(), core.op, None))
+            continue
+        if not isinstance(core.operand, ColumnRef):
+            return None
+        column = core.operand.name
+        if core.op != "count" \
+                and not _column_fully_capable(table, column, KERNEL_GATHER):
+            return None
+        aggregates.append((agg.output_name(), core.op, column))
+    return {"key": key_name, "aggregates": aggregates}
+
+
+def aggregate_execution_domains(node: logical.Aggregate,
+                                options: LoweringOptions
+                                ) -> List[Tuple[str, str]]:
+    """Per-aggregate execution domain labels for ``explain()``.
+
+    Returns ``(label, "compressed" | "decompress")`` pairs — empty when the
+    child is not a scan (nothing to say about in-memory frames).
+    """
+    if not isinstance(node.child, logical.PScan):
+        return []
+    spec = compressed_aggregate_plan(node, options)
+    domain = "decompress" if spec is None else "compressed"
+    labels = []
+    if node.keys:
+        keys = ", ".join(key.output_name() for key in node.keys)
+        labels.append((f"group by {keys}", domain))
+    labels.extend((agg.output_name(), domain) for agg in node.aggregates)
+    return labels
+
+
+def _exec_aggregate_compressed(node: logical.Aggregate, spec: Dict[str, Any],
+                               options: LoweringOptions) -> Frame:
+    """Aggregate straight off the compressed chunks: the scan produces only
+    a selection, and every aggregate input is computed by the capability
+    kernels (whole-form aggregates, positional gathers, dictionary group
+    codes).  Bit-identical to the materialising path."""
+    child = node.child
+    assert isinstance(child, logical.PScan)
+    predicates, row_filters = _split_conjuncts(child)
+    scan = scan_table(child.table, predicates,
+                      use_pushdown=options.use_pushdown,
+                      use_zone_maps=options.use_zone_maps,
+                      parallelism=options.parallelism,
+                      materialize=[],
+                      row_filters=row_filters,
+                      use_compressed_exec=True)
+    positions = scan.selection.positions.values
+    stats = scan.stats if scan.stats is not None else ScanStats()
+
+    #: One positional materialisation per *distinct* operand column, shared
+    #: by every aggregate over it (multi-aggregate queries would otherwise
+    #: re-walk the chunks once per aggregate).
+    gathered_cache: Dict[str, Column] = {}
+
+    def gathered(column: str) -> Column:
+        values = gathered_cache.get(column)
+        if values is None:
+            raw, gather_stats = gather_stored(
+                child.table.column(column), positions)
+            stats.merge(gather_stats)
+            values = gathered_cache[column] = Column(raw)
+        return values
+
+    if spec["key"] is None:
+        scalars: Dict[str, Any] = {}
+        column_uses = [column for __, op, column in spec["aggregates"]
+                       if op != "count"]
+        for output_name, op, column in spec["aggregates"]:
+            if op == "count":
+                scalars[output_name] = int(positions.size)
+            elif column_uses.count(column) > 1:
+                # Several aggregates over one column: gather the selection
+                # once and reduce it per op (identical to reducing through
+                # the whole-form kernels).
+                scalars[output_name] = scalar_aggregate(gathered(column), op)
+            else:
+                value, agg_stats = aggregate_stored(
+                    child.table.column(column), positions, op)
+                stats.merge(agg_stats)
+                scalars[output_name] = value
+        return Frame(columns={}, row_count=int(positions.size),
+                     scalars=scalars, stats_list=[stats],
+                     aggregated_rows=int(positions.size))
+
+    grouped = group_codes_stored(child.table.column(spec["key"]), positions)
+    if grouped is None:  # mixed schemes lost the capability mid-column
+        return _exec_aggregate_materialized(node, options)
+    unique_keys, codes, group_stats = grouped
+    stats.merge(group_stats)
+    num_groups = int(unique_keys.size)
+    key_output = node.keys[0].output_name()
+    columns: Dict[str, Column] = {
+        key_output: Column(unique_keys, name=key_output)}
+    for output_name, op, column in spec["aggregates"]:
+        values = None if op == "count" else gathered(column)
+        columns[output_name] = grouped_reduce(codes, num_groups, values,
+                                              op).rename(output_name)
+    return Frame(columns=columns, row_count=num_groups,
+                 stats_list=[stats], aggregated_rows=int(positions.size))
+
+
 def _exec_aggregate(node: logical.Aggregate, options: LoweringOptions) -> Frame:
+    spec = compressed_aggregate_plan(node, options)
+    if spec is not None:
+        return _exec_aggregate_compressed(node, spec, options)
+    return _exec_aggregate_materialized(node, options)
+
+
+def _exec_aggregate_materialized(node: logical.Aggregate,
+                                 options: LoweringOptions) -> Frame:
     child = execute(node.child, options)
     env = child.env()
     if not node.keys:

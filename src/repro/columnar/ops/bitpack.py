@@ -15,7 +15,7 @@ bits ``[i*w, (i+1)*w)`` of the bit stream, least-significant bit first.
 from __future__ import annotations
 
 import sys
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -121,6 +121,167 @@ def unpack_bits(packed: Column, width: int, count: int,
         )
     values = _unpack_bits_values(buf, width, count)
     return Column(values.astype(dtype), name=name or packed.name)
+
+
+def _split_words(buf: np.ndarray, num_words: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """View *buf* (uint8) as little-endian uint64 words without copying it.
+
+    Returns ``(body, tail)``: *body* is a zero-copy ``<u8`` view of the
+    whole words of *buf*, *tail* is a small zero-padded copy holding the
+    remaining bytes plus guard words, together covering at least
+    *num_words* words.  Only the (at most ``num_words - len(body)``) tail
+    words are ever copied, so callers stay O(words actually read) instead
+    of O(buffer).
+    """
+    body_words = min(buf.size // 8, num_words)
+    body = buf[:body_words * 8].view("<u8")
+    tail_words = max(num_words - body_words, 0)
+    tail = np.zeros(tail_words * 8, dtype=np.uint8)
+    remainder = buf[body_words * 8:]
+    tail[:min(remainder.size, tail.size)] = remainder[:tail.size]
+    return body, tail.view("<u8")
+
+
+def _swar_ge(slots: np.ndarray, guard: np.uint64, unit: np.uint64,
+             constant: int) -> np.ndarray:
+    """Per-field ``x >= constant`` over SWAR *slots*, verdicts at guard bits.
+
+    Each 64-bit element of *slots* holds fields of width ``w`` in the low
+    half of ``2w``-bit slots (high half zero).  Setting the guard bit (bit
+    ``w`` of every slot) before subtracting ``constant`` from every field
+    makes the guard survive exactly when the field is ``>= constant`` —
+    Lamport's comparison gate, the word-parallel primitive BitWeaving builds
+    on.  ``constant`` may be up to ``2**w`` (one past the field maximum),
+    for which the verdict is correctly never set.
+    """
+    return ((slots | guard) - np.uint64(constant) * unit) & guard
+
+
+def _swar_verdict_rows(words: np.ndarray, width: int, lo: int,
+                       hi: int) -> np.ndarray:
+    """Per-field ``lo <= x <= hi`` verdicts of *words*, as a (words, fields)
+    boolean matrix (the word-parallel core of the packed comparison)."""
+    per_word = 64 // width
+    half = per_word // 2
+    slot_width = 2 * width
+
+    unit = np.uint64(sum(1 << (k * slot_width) for k in range(half)))
+    field_max = np.uint64((1 << width) - 1)
+    slot_mask = field_max * unit
+    guard = (np.uint64(1) << np.uint64(width)) * unit
+
+    even = words & slot_mask
+    odd = (words >> np.uint64(width)) & slot_mask
+
+    verdicts = []
+    for slots in (even, odd):
+        in_range = _swar_ge(slots, guard, unit, lo)
+        if hi < (1 << width) - 1:
+            in_range &= ~_swar_ge(slots, guard, unit, hi + 1)
+        verdicts.append(in_range)
+
+    out = np.empty((words.size, per_word), dtype=bool)
+    for k in range(half):
+        bit = np.uint64(k * slot_width + width)
+        out[:, 2 * k] = (verdicts[0] >> bit) & np.uint64(1)
+        out[:, 2 * k + 1] = (verdicts[1] >> bit) & np.uint64(1)
+    return out
+
+
+def _packed_compare_range_swar(buf: np.ndarray, width: int, count: int,
+                               lo: int, hi: int) -> np.ndarray:
+    """Word-parallel ``lo <= x <= hi`` over the packed stream (64 % width == 0).
+
+    With the field width dividing 64, no value straddles a word, so each
+    word is compared as a whole: fields are split into even/odd passes
+    (masking every other field buys each survivor ``width`` spare bits plus
+    a guard bit), each pass costs a handful of 64-bit vector operations for
+    ``64/width`` values, and only the final verdict extraction is per-field.
+    The packed buffer is neither expanded to one integer per value nor
+    copied: the whole-word body is compared through a zero-copy view, and
+    only a sub-word tail (at most one word) goes through a padded copy.
+    """
+    num_words = (count + (64 // width) - 1) // (64 // width)
+    body, tail = _split_words(buf, num_words)
+    rows = _swar_verdict_rows(body, width, lo, hi)
+    if tail.size:
+        rows = np.concatenate([rows, _swar_verdict_rows(tail, width, lo, hi)])
+    return rows.reshape(-1)[:count]
+
+
+def packed_compare_range(packed: Column, width: int, count: int,
+                         lo: int, hi: int) -> np.ndarray:
+    """``lo <= x <= hi`` per packed value, without unpacking when possible.
+
+    *lo*/*hi* are inclusive bounds in the stored unsigned domain; the caller
+    clamps them into ``[0, 2**width - 1]`` (use an empty-range short-circuit
+    for provably empty predicates).  Widths dividing 64 take the BitWeaving-
+    style word-parallel path (:func:`_packed_compare_range_swar`); other
+    widths fall back to unpack-and-compare.
+    """
+    _require_width(width)
+    if count == 0:
+        return np.empty(0, dtype=bool)
+    if not 0 <= lo <= hi <= (1 << width) - 1:
+        raise OperatorError(
+            f"packed_compare_range bounds [{lo}, {hi}] do not fit width {width}"
+        )
+    buf = packed.values
+    if buf.dtype != np.uint8:
+        raise OperatorError(f"packed_compare_range requires a uint8 buffer, got {buf.dtype}")
+    if buf.size * 8 < count * width:
+        raise OperatorError(
+            f"packed_compare_range buffer holds {buf.size * 8} bits, needs {count * width}"
+        )
+    if width < 64 and 64 % width == 0 and _LITTLE_ENDIAN:
+        return _packed_compare_range_swar(buf, width, count, lo, hi)
+    values = _unpack_bits_values(buf, width, count)
+    return (values >= np.uint64(lo)) & (values <= np.uint64(hi))
+
+
+def packed_gather(packed: Column, width: int, count: int,
+                  positions: np.ndarray) -> np.ndarray:
+    """Extract the packed values at *positions* (uint64), touching only them.
+
+    The positional generalisation of :func:`unpack_bits`: each requested
+    value is assembled from (at most) the two words its bits live in, so a
+    sparse gather reads a handful of words instead of unpacking the whole
+    buffer.  *positions* must lie in ``[0, count)``; order is preserved and
+    duplicates are allowed.
+    """
+    _require_width(width)
+    positions = np.asarray(positions)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    if int(positions.min()) < 0 or int(positions.max()) >= count:
+        raise OperatorError(
+            f"packed_gather positions out of range [0, {count})"
+        )
+    buf = packed.values
+    if buf.dtype != np.uint8:
+        raise OperatorError(f"packed_gather requires a uint8 buffer, got {buf.dtype}")
+    num_words = (count * width + 63) // 64 + 1
+    body, tail = _split_words(buf, num_words)
+
+    def fetch(word_idx: np.ndarray) -> np.ndarray:
+        """words[word_idx] across the zero-copy body and the padded tail
+        (only positions' words are touched — O(positions), not O(buffer))."""
+        out = np.empty(word_idx.size, dtype=np.uint64)
+        in_body = word_idx < body.size
+        out[in_body] = body[word_idx[in_body]]
+        out[~in_body] = tail[word_idx[~in_body] - body.size]
+        return out
+
+    bitpos = positions.astype(np.uint64) * np.uint64(width)
+    word_idx = (bitpos >> np.uint64(6)).astype(np.intp)
+    bit = bitpos & np.uint64(63)
+    low = fetch(word_idx) >> bit
+    high = (fetch(word_idx + 1) << (np.uint64(63) - bit)) << np.uint64(1)
+    values = low | high
+    if width < 64:
+        values &= np.uint64((1 << width) - 1)
+    return values
 
 
 @register_operator("ZigZagEncode", 1, "map signed integers to non-negative integers",

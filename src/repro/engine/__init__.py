@@ -14,9 +14,11 @@ from .pushdown import (
     range_mask_on_dict,
     range_mask_on_for,
     range_mask_on_form,
+    range_mask_on_ns,
     range_mask_on_runs,
     sum_in_range_on_runs,
 )
+from . import kernels, translate
 from .approximate import (
     ApproximateAnswer,
     approximate_mean,
@@ -27,8 +29,11 @@ from .operators import (
     ScanStats,
     SelectionVector,
     aggregate,
+    aggregate_stored,
     filter_table,
+    gather_stored,
     group_by_aggregate,
+    group_codes_stored,
     grouped_reduce,
     hash_join,
     project,
@@ -49,14 +54,20 @@ __all__ = [
     "range_mask_on_runs",
     "range_mask_on_for",
     "range_mask_on_dict",
+    "range_mask_on_ns",
     "count_in_range_on_runs",
     "sum_in_range_on_runs",
+    "kernels",
+    "translate",
     "ScanStats",
     "SelectionVector",
     "filter_table",
     "project",
     "aggregate",
+    "aggregate_stored",
+    "gather_stored",
     "group_by_aggregate",
+    "group_codes_stored",
     "grouped_reduce",
     "hash_join",
     "Query",

@@ -1,0 +1,381 @@
+"""Capability-dispatched compressed-domain execution kernels.
+
+Every :class:`~repro.schemes.base.CompressionScheme` advertises, per form,
+which kernels it supports (:meth:`~repro.schemes.base.CompressionScheme.
+kernel_capabilities`); this module is the engine-side dispatch that turns
+those declarations into executable operations:
+
+* :func:`filter_range` — evaluate a range predicate on the compressed form
+  (run domain, segment bounds + translated constants, dictionary codes,
+  word-parallel packed comparison);
+* :func:`gather` — materialise only the requested positions (binary search
+  into run positions, positional bit extraction from packed streams, model
+  evaluation at the touched positions);
+* :func:`aggregate_whole` — count/sum/min/max over a *whole* form without
+  decompressing (run-domain arithmetic, dictionary reductions);
+* :func:`group_codes` — pre-factorised group codes (dictionary encoding's
+  codes are group codes already, so a group-by skips the sort/unique pass).
+
+Cascades are peeled first (:func:`repro.engine.translate.resolve_form`), so
+composite columns inherit their outer scheme's entire kernel set — the
+first time cascaded forms participate in pushdown at all.
+
+Every kernel is **bit-identical** to decompress-then-compute: ``gather``
+reproduces the decompression arithmetic at the requested positions, and the
+aggregate kernels accumulate with the same dtype discipline as
+:func:`repro.engine.operators.aggregate`.  All kernels return ``None`` when
+the form does not advertise the capability, and callers fall back to
+decompression.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..columnar.ops import bitpack as _bitpack
+from ..schemes import _residuals
+from ..schemes.base import (
+    KERNEL_AGGREGATE,
+    KERNEL_FILTER_RANGE,
+    KERNEL_GATHER,
+    KERNEL_GROUP_CODES,
+    CompressedForm,
+    CompressionScheme,
+)
+from . import translate
+from .predicates import RangeBounds
+from .pushdown import (
+    PushdownStats,
+    _run_lengths_of_form,
+    range_mask_on_dict,
+    range_mask_on_for,
+    range_mask_on_ns,
+    range_mask_on_runs,
+    run_positions_of,
+)
+
+__all__ = [
+    "capabilities",
+    "supports",
+    "filter_range",
+    "gather",
+    "aggregate_whole",
+    "group_codes",
+]
+
+
+def capabilities(scheme: CompressionScheme, form: CompressedForm) -> frozenset:
+    """The kernel capabilities *scheme* advertises for *form* (memoised)."""
+    return form.cached(
+        ("kernel_capabilities",),
+        lambda: frozenset(scheme.kernel_capabilities(form)),
+    )
+
+
+def supports(scheme: CompressionScheme, form: CompressedForm, kernel: str) -> bool:
+    """Whether *form* advertises *kernel* (one of the ``KERNEL_*`` names)."""
+    return kernel in capabilities(scheme, form)
+
+
+# --------------------------------------------------------------------------- #
+# Range filters
+# --------------------------------------------------------------------------- #
+
+_FILTERS: Dict[str, Callable] = {
+    "RLE": range_mask_on_runs,
+    "RPE": range_mask_on_runs,
+    "FOR": range_mask_on_for,
+    "PFOR": range_mask_on_for,
+    "DICT": range_mask_on_dict,
+    "NS": range_mask_on_ns,
+}
+
+
+def filter_range(
+    scheme: CompressionScheme,
+    form: CompressedForm,
+    bounds: RangeBounds,
+) -> Optional[Tuple[np.ndarray, PushdownStats]]:
+    """Evaluate ``low <= column <= high`` on the compressed form, if able.
+
+    Returns ``(mask, stats)`` with a boolean row mask over the form's rows,
+    or ``None`` when the form does not advertise
+    :data:`~repro.schemes.base.KERNEL_FILTER_RANGE` (or no kernel exists for
+    the resolved scheme).  Cascades are peeled to their outer form first.
+    """
+    if not supports(scheme, form, KERNEL_FILTER_RANGE):
+        return None
+    __, resolved = translate.resolve_form(scheme, form)
+    kernel = _FILTERS.get(resolved.scheme)
+    if kernel is None:
+        return None
+    result = kernel(resolved, bounds)
+    if result is None:
+        return None
+    mask_column, stats = result
+    return mask_column.values, stats
+
+
+# --------------------------------------------------------------------------- #
+# Positional gathers
+# --------------------------------------------------------------------------- #
+
+
+def _gather_id(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    return form.constituent("values").values[positions]
+
+
+def _gather_runs(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    ends = run_positions_of(form)
+    run_index = np.searchsorted(ends, positions, side="right")
+    return form.constituent("values").values[run_index]
+
+
+def _gather_dict(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    dictionary = form.constituent("dictionary").values
+    if form.parameter("codes_layout") == "packed":
+        codes = _bitpack.packed_gather(
+            form.constituent("codes"),
+            width=int(form.parameter("code_width")),
+            count=int(form.parameter("count")),
+            positions=positions,
+        ).astype(np.int64)
+    else:
+        codes = form.constituent("codes").values[positions]
+    return dictionary[codes]
+
+
+def _gather_ns(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    # Mirrors NullSuppression.decompress_fused element for element.
+    if form.parameter("mode") == "aligned":
+        values = form.constituent("values").values[positions].astype(np.uint64)
+    else:
+        values = _bitpack.packed_gather(
+            form.constituent("packed"),
+            width=int(form.parameter("width")),
+            count=int(form.parameter("count")),
+            positions=positions,
+        )
+    transform = form.parameter("transform", "none")
+    if transform == "zigzag":
+        return _bitpack._zigzag_decode_values(values)
+    if transform == "bias":
+        return values.astype(np.int64) + int(form.parameter("bias", 0))
+    return values
+
+
+def _gather_for(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    segment_length = int(form.parameter("segment_length"))
+    seg = positions // segment_length
+    offsets = _residuals.decode_residuals_at(
+        form.constituent("offsets"),
+        form.parameters,
+        positions,
+    )
+    return form.constituent("refs").values[seg] + offsets
+
+
+def _gather_pfor(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    base = _gather_for(form, positions)
+    patch_positions = form.constituent("patch_positions").values
+    if patch_positions.size:
+        slot = np.searchsorted(patch_positions, positions)
+        slot = np.minimum(slot, patch_positions.size - 1)
+        is_patch = patch_positions[slot] == positions
+        if is_patch.any():
+            base[is_patch] = form.constituent("patch_values").values[slot[is_patch]]
+    return base
+
+
+def _gather_poly(form: CompressedForm, positions: np.ndarray) -> np.ndarray:
+    # Mirrors PiecewisePolynomial.decompress_fused (Horner in float64) at
+    # the requested positions only.
+    segment_length = int(form.parameter("segment_length"))
+    degree = int(form.parameter("degree"))
+    seg = positions // segment_length
+    pos = (positions % segment_length).astype(np.float64)
+    prediction = np.zeros(positions.size, dtype=np.float64)
+    for k in range(degree, -1, -1):
+        prediction = prediction * pos + form.constituent(f"coeff_{k}").values[seg]
+    offsets = _residuals.decode_residuals_at(
+        form.constituent("offsets"),
+        form.parameters,
+        positions,
+    )
+    return np.rint(prediction).astype(np.int64) + offsets
+
+
+_GATHERS: Dict[str, Callable] = {
+    "ID": _gather_id,
+    "RLE": _gather_runs,
+    "RPE": _gather_runs,
+    "DICT": _gather_dict,
+    "NS": _gather_ns,
+    "FOR": _gather_for,
+    "PFOR": _gather_pfor,
+    "POLY": _gather_poly,
+    "LINEAR": _gather_poly,
+}
+
+
+def gather(
+    scheme: CompressionScheme,
+    form: CompressedForm,
+    positions: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Materialise the form's values at *positions* without decompressing.
+
+    *positions* are row indices local to the form, in ``[0,
+    original_length)``; order is preserved and duplicates are allowed.  The
+    result has the form's original dtype and is element-for-element equal to
+    ``scheme.decompress(form).values[positions]``.  Returns ``None`` when
+    the form does not advertise :data:`~repro.schemes.base.KERNEL_GATHER`.
+    """
+    if not supports(scheme, form, KERNEL_GATHER):
+        return None
+    __, resolved = translate.resolve_form(scheme, form)
+    kernel = _GATHERS.get(resolved.scheme)
+    if kernel is None:
+        return None
+    positions = np.asarray(positions, dtype=np.int64)
+    values = kernel(resolved, positions)
+    dtype = np.dtype(resolved.original_dtype)
+    if values.dtype != dtype:
+        values = values.astype(dtype)
+    return values
+
+
+# --------------------------------------------------------------------------- #
+# Whole-form aggregates
+# --------------------------------------------------------------------------- #
+
+
+def _sum_accumulator(dtype: np.dtype):
+    return np.uint64 if np.issubdtype(dtype, np.unsignedinteger) else np.int64
+
+
+def _reduce_weighted(values: np.ndarray, weights: np.ndarray, how: str):
+    """sum/min/max of ``repeat(values, weights)`` without expanding it."""
+    if how == "sum":
+        accumulator = _sum_accumulator(values.dtype)
+        weighted = values.astype(accumulator) * weights.astype(accumulator)
+        return weighted.sum(dtype=accumulator)
+    present = values[weights > 0]
+    return present.min() if how == "min" else present.max()
+
+
+def _aggregate_runs(form: CompressedForm, how: str):
+    values = form.constituent("values").values
+    return _reduce_weighted(values, _run_lengths_of_form(form), how)
+
+
+def _aggregate_dict(form: CompressedForm, how: str):
+    dictionary = form.constituent("dictionary").values
+    if how == "min":
+        return dictionary[0]  # every dictionary entry is present (np.unique)
+    if how == "max":
+        return dictionary[-1]
+    if form.parameter("codes_layout") == "packed":
+        codes = _bitpack.unpack_bits(
+            form.constituent("codes"),
+            width=int(form.parameter("code_width")),
+            count=int(form.parameter("count")),
+            dtype=np.int64,
+        ).values
+    else:
+        codes = form.constituent("codes").values
+    counts = np.bincount(codes, minlength=dictionary.size)
+    return _reduce_weighted(dictionary, counts, "sum")
+
+
+def _aggregate_id(form: CompressedForm, how: str):
+    data = form.constituent("values").values
+    if how == "sum":
+        return data.sum(dtype=_sum_accumulator(data.dtype))
+    return data.min() if how == "min" else data.max()
+
+
+_AGGREGATORS: Dict[str, Callable] = {
+    "RLE": _aggregate_runs,
+    "RPE": _aggregate_runs,
+    "DICT": _aggregate_dict,
+    "ID": _aggregate_id,
+}
+
+
+def aggregate_whole(
+    scheme: CompressionScheme,
+    form: CompressedForm,
+    how: str,
+) -> Optional[np.generic]:
+    """sum/min/max over *every* row of the form, without decompressing.
+
+    Returns a NumPy scalar — sums in the int64/uint64 accumulator family
+    matching :func:`repro.engine.operators.aggregate`, min/max in the value
+    dtype — or ``None`` when the form does not advertise
+    :data:`~repro.schemes.base.KERNEL_AGGREGATE`.  ``count`` needs no
+    kernel: it is the form's ``original_length``.
+    """
+    if how not in ("sum", "min", "max"):
+        return None
+    if not supports(scheme, form, KERNEL_AGGREGATE):
+        return None
+    __, resolved = translate.resolve_form(scheme, form)
+    kernel = _AGGREGATORS.get(resolved.scheme)
+    if kernel is None or resolved.original_length == 0:
+        return None
+    result = kernel(resolved, how)
+    dtype = np.dtype(resolved.original_dtype)
+    if how in ("min", "max") and result.dtype != dtype:
+        result = result.astype(dtype)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Group codes
+# --------------------------------------------------------------------------- #
+
+
+def group_codes(
+    scheme: CompressionScheme,
+    form: CompressedForm,
+    positions: Optional[np.ndarray],
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Pre-factorised group codes of the form at *positions*.
+
+    Returns ``(codes, group_values)`` where *group_values* is sorted and
+    ``group_values[codes]`` equals the form's values at *positions* (some
+    groups may be unrepresented in the selection; callers drop empty groups
+    when matching ``np.unique`` semantics).  ``positions=None`` means every
+    row.  Returns ``None`` when the form does not advertise
+    :data:`~repro.schemes.base.KERNEL_GROUP_CODES`.
+    """
+    if not supports(scheme, form, KERNEL_GROUP_CODES):
+        return None
+    __, resolved = translate.resolve_form(scheme, form)
+    if resolved.scheme != "DICT":
+        return None
+    dictionary = resolved.constituent("dictionary").values
+    packed = resolved.parameter("codes_layout") == "packed"
+    if positions is None:
+        if packed:
+            codes = _bitpack.unpack_bits(
+                resolved.constituent("codes"),
+                width=int(resolved.parameter("code_width")),
+                count=int(resolved.parameter("count")),
+                dtype=np.int64,
+            ).values
+        else:
+            codes = resolved.constituent("codes").values.astype(np.int64)
+    elif packed:
+        codes = _bitpack.packed_gather(
+            resolved.constituent("codes"),
+            width=int(resolved.parameter("code_width")),
+            count=int(resolved.parameter("count")),
+            positions=positions,
+        ).astype(np.int64)
+    else:
+        codes = resolved.constituent("codes").values[positions].astype(np.int64)
+    return codes, dictionary

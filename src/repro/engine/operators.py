@@ -15,7 +15,7 @@ to keep the "decompression is query execution" point front and centre.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,14 @@ class ScanStats:
     predicates_total: int = 0
     rows_scanned: int = 0
     rows_selected: int = 0
+    #: Rows whose predicate, gather or aggregate was computed **in the
+    #: compressed domain** (run values, dictionary codes, packed words,
+    #: segment references) instead of on decompressed values.
+    rows_computed_compressed: int = 0
+    #: Uncompressed bytes of chunks that compressed-domain execution served
+    #: entirely without decompressing (the decompression output that was
+    #: never materialised).  Approximate for chunks straddling scan ranges.
+    bytes_decompressed_saved: int = 0
     #: Compiled-plan cache traffic attributable to this scan: ``hits`` counts
     #: chunk decompressions served by an already-compiled plan (at either
     #: cache level), ``misses`` counts actual plan compilations.  A healthy
@@ -78,6 +86,8 @@ class ScanStats:
         self.predicates_total += other.predicates_total
         self.rows_scanned += other.rows_scanned
         self.rows_selected += other.rows_selected
+        self.rows_computed_compressed += other.rows_computed_compressed
+        self.bytes_decompressed_saved += other.bytes_decompressed_saved
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.merge_pushdown(other.pushdown)
@@ -246,6 +256,167 @@ def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
     aggregate_column = grouped_reduce(codes, unique_keys.size, values, how)
     return {"key": Column(unique_keys, name="key"),
             "aggregate": aggregate_column}
+
+
+# --------------------------------------------------------------------------- #
+# Compressed-input gathers and aggregates
+# --------------------------------------------------------------------------- #
+
+def _iter_chunk_hits(stored, positions: np.ndarray):
+    """Yield ``(chunk, local_positions, (start, stop))`` for every chunk of
+    *stored* hit by the sorted global *positions* (one ``searchsorted`` pair
+    per chunk; untouched chunks are skipped entirely)."""
+    for chunk in stored.chunks:
+        start, stop = np.searchsorted(
+            positions, [chunk.row_offset, chunk.row_offset + chunk.row_count])
+        if start == stop:
+            continue
+        yield chunk, positions[start:stop] - chunk.row_offset, (int(start), int(stop))
+
+
+def gather_stored(stored, positions: np.ndarray
+                  ) -> Tuple[np.ndarray, ScanStats]:
+    """Materialise *stored* at sorted global *positions*, compressed where able.
+
+    The compressed-aware sibling of :func:`repro.engine.scan.gather_rows`:
+    chunks whose forms advertise the gather kernel are read positionally in
+    the compressed domain (:func:`repro.engine.kernels.gather`) and are
+    never decompressed; the rest decompress and fancy-index.  Results are
+    bit-identical either way.  Returns the values plus a :class:`ScanStats`
+    carrying the compressed-execution accounting.
+    """
+    from . import kernels
+
+    stats = ScanStats()
+    out = np.empty(positions.size, dtype=stored.dtype)
+    for chunk, local, (start, stop) in _iter_chunk_hits(stored, positions):
+        values = kernels.gather(chunk.scheme, chunk.form, local)
+        if values is not None:
+            stats.rows_computed_compressed += local.size
+            stats.bytes_decompressed_saved += chunk.uncompressed_size_bytes()
+        else:
+            stats.chunks_decompressed += 1
+            values = chunk.decompress().values[local]
+        out[start:stop] = values
+    return out, stats
+
+
+def aggregate_stored(stored, positions: np.ndarray, how: str
+                     ) -> Tuple[Any, ScanStats]:
+    """A scalar aggregate over *stored* at sorted *positions*, compressed
+    where the chunk forms allow.
+
+    Bit-identical to materialising the selection and calling
+    :func:`aggregate`: integer sums accumulate per chunk in the same
+    int64/uint64 family (chunked accumulation is exact modulo 2**64, like
+    NumPy's own), min/max combine per-chunk partials in the value dtype, and
+    chunks fully covered by the selection use the whole-form kernels
+    (:func:`repro.engine.kernels.aggregate_whole`) so e.g. an RLE chunk sums
+    as ``values·lengths`` without expansion.  ``mean`` and float sums fall
+    back to one materialised-selection pass to preserve NumPy's summation
+    order exactly.
+    """
+    from . import kernels
+
+    if how not in _AGGREGATES:
+        raise QueryError(f"unknown aggregate {how!r}; known: {_AGGREGATES}")
+    if how == "count":
+        return int(positions.size), ScanStats()
+    if positions.size == 0:
+        raise QueryError(f"aggregate {how!r} over zero rows")
+    if how == "mean" or (how == "sum"
+                         and not np.issubdtype(stored.dtype, np.integer)):
+        values, stats = gather_stored(stored, positions)
+        return aggregate(Column(values), how), stats
+
+    stats = ScanStats()
+    partials = []
+    for chunk, local, __ in _iter_chunk_hits(stored, positions):
+        if local.size == chunk.row_count:
+            partial = kernels.aggregate_whole(chunk.scheme, chunk.form, how)
+            if partial is not None:
+                stats.rows_computed_compressed += local.size
+                stats.bytes_decompressed_saved += chunk.uncompressed_size_bytes()
+                partials.append(partial)
+                continue
+        values = kernels.gather(chunk.scheme, chunk.form, local)
+        if values is not None:
+            stats.rows_computed_compressed += local.size
+            stats.bytes_decompressed_saved += chunk.uncompressed_size_bytes()
+        else:
+            stats.chunks_decompressed += 1
+            values = chunk.decompress().values[local]
+        if how == "sum":
+            accumulator = np.uint64 if np.issubdtype(values.dtype, np.unsignedinteger) \
+                else np.int64
+            partials.append(values.sum(dtype=accumulator))
+        elif how == "min":
+            partials.append(values.min())
+        else:
+            partials.append(values.max())
+
+    combine = {"sum": np.add, "min": np.minimum, "max": np.maximum}[how]
+    total = partials[0]
+    for partial in partials[1:]:
+        total = combine(total, partial)
+    return int(total) if how == "sum" else total.item(), stats
+
+
+def group_codes_stored(stored, positions: np.ndarray
+                       ) -> Optional[Tuple[np.ndarray, np.ndarray, ScanStats]]:
+    """Factorise *stored* at sorted *positions* into group codes, using the
+    chunks' dictionary codes instead of sorting the selected values.
+
+    Returns ``(unique_values, codes, stats)`` exactly matching
+    ``np.unique(selection, return_inverse=True)`` — sorted distinct values
+    actually present in the selection, codes indexing them — or ``None``
+    when no chunk advertises the group-codes kernel (the caller should then
+    factorise materialised values as usual).  Chunks without the kernel
+    contribute through a per-chunk ``np.unique`` fallback, and the small
+    per-chunk dictionaries are merged instead of sorting all selected rows.
+    """
+    from . import kernels
+    from ..schemes.base import KERNEL_GROUP_CODES
+
+    stats = ScanStats()
+    if positions.size == 0:
+        return (np.empty(0, dtype=stored.dtype),
+                np.empty(0, dtype=np.int64), stats)
+    hits = list(_iter_chunk_hits(stored, positions))
+    if not any(kernels.supports(chunk.scheme, chunk.form, KERNEL_GROUP_CODES)
+               for chunk, __, __ in hits):
+        return None
+
+    per_chunk = []
+    for chunk, local, span in hits:
+        coded = kernels.group_codes(
+            chunk.scheme, chunk.form,
+            None if local.size == chunk.row_count else local)
+        if coded is None:
+            stats.chunks_decompressed += 1
+            values = chunk.decompress().values[local]
+            groups, codes = np.unique(values, return_inverse=True)
+            coded = (codes.reshape(-1).astype(np.int64), groups)
+        else:
+            stats.rows_computed_compressed += local.size
+            stats.bytes_decompressed_saved += chunk.uncompressed_size_bytes()
+        per_chunk.append((span, coded[0], coded[1]))
+
+    merged = np.unique(np.concatenate([groups for __, __, groups in per_chunk]))
+    codes_out = np.empty(positions.size, dtype=np.int64)
+    for (start, stop), codes, groups in per_chunk:
+        remap = np.searchsorted(merged, groups)
+        codes_out[start:stop] = remap[codes]
+    counts = np.bincount(codes_out, minlength=merged.size)
+    present = counts > 0
+    if not present.all():
+        # Dictionary entries (or other chunks' values) absent from the
+        # selection must not surface as empty groups — np.unique would not
+        # report them.
+        relabel = np.cumsum(present) - 1
+        codes_out = relabel[codes_out]
+        merged = merged[present]
+    return merged, codes_out, stats
 
 
 # --------------------------------------------------------------------------- #

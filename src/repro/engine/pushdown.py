@@ -33,7 +33,6 @@ from ..model.fitting import segment_index
 from ..schemes import _residuals
 from ..schemes.base import CompressedForm
 from ..schemes.dict_ import DictionaryEncoding
-from ..schemes.for_ import saturating_segment_bounds
 from .predicates import RangeBounds
 
 
@@ -66,36 +65,49 @@ def _require_run_form(form: CompressedForm) -> None:
 
 
 def _run_lengths_of_form(form: CompressedForm) -> np.ndarray:
-    if form.scheme == "RLE":
-        return form.constituent("lengths").values.astype(np.int64)
-    if form.scheme == "RPE":
-        positions = form.constituent("run_positions").values.astype(np.int64)
-        lengths = np.empty(len(positions), dtype=np.int64)
-        if len(positions):
-            lengths[0] = positions[0]
-            np.subtract(positions[1:], positions[:-1], out=lengths[1:])
-        return lengths
-    raise QueryError(f"run-domain pushdown expects an RLE or RPE form, got {form.scheme!r}")
+    """Per-run lengths of an RLE/RPE form as int64, memoised on the form."""
+    def compute() -> np.ndarray:
+        if form.scheme == "RLE":
+            return form.constituent("lengths").values.astype(np.int64)
+        if form.scheme == "RPE":
+            positions = form.constituent("run_positions").values.astype(np.int64)
+            lengths = np.empty(len(positions), dtype=np.int64)
+            if len(positions):
+                lengths[0] = positions[0]
+                np.subtract(positions[1:], positions[:-1], out=lengths[1:])
+            return lengths
+        raise QueryError(
+            f"run-domain pushdown expects an RLE or RPE form, got {form.scheme!r}")
+
+    _require_run_form(form)
+    return form.cached(("run_lengths",), compute)
 
 
 def run_positions_of(form: CompressedForm) -> np.ndarray:
-    """Run *end* positions of an RLE/RPE form, as int64.
+    """Run *end* positions of an RLE/RPE form, as int64 (memoised on the form).
 
     RPE stores them directly.  For RLE they are obtained by executing the
     compiled truncation of Algorithm 1 at its first binding
     (``run_positions``) — partial evaluation through the plan executor, the
-    executable form of "RLE converts to RPE by one prefix sum".
+    executable form of "RLE converts to RPE by one prefix sum".  The result
+    is cached on the form, so a multi-conjunct scan (or a filter followed by
+    a compressed-domain gather) pays for the prefix sum at most once.
     """
     _require_run_form(form)
-    if form.scheme == "RPE":
-        return form.constituent("run_positions").values.astype(np.int64)
-    from ..columnar.compile import compiled_partial_plan
-    from ..schemes.rle import build_rle_decompression_plan
 
-    compiled = compiled_partial_plan(build_rle_decompression_plan(), "run_positions")
-    positions = compiled.run({"lengths": form.constituent("lengths"),
-                              "values": form.constituent("values")})
-    return positions.values.astype(np.int64)
+    def compute() -> np.ndarray:
+        if form.scheme == "RPE":
+            return form.constituent("run_positions").values.astype(np.int64)
+        from ..columnar.compile import compiled_partial_plan
+        from ..schemes.rle import build_rle_decompression_plan
+
+        compiled = compiled_partial_plan(build_rle_decompression_plan(),
+                                         "run_positions")
+        positions = compiled.run({"lengths": form.constituent("lengths"),
+                                  "values": form.constituent("values")})
+        return positions.values.astype(np.int64)
+
+    return form.cached(("run_end_positions",), compute)
 
 
 def point_lookup_on_runs(form: CompressedForm, row: int
@@ -173,23 +185,6 @@ def sum_in_range_on_runs(form: CompressedForm, bounds: RangeBounds
 # FOR / PFOR / STEPFUNCTION: segment-domain evaluation
 # --------------------------------------------------------------------------- #
 
-def _segment_value_bounds(form: CompressedForm) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-segment [low, high] value bounds derivable from the form alone.
-
-    The bound arithmetic saturates at the int64 limits (see
-    :func:`repro.schemes.for_.saturating_segment_bounds`) instead of clamping
-    the offset width: the old ``(1 << min(width, 62)) - 1`` span understated
-    the bounds of ``offsets_width >= 63`` segments, so wide-offset FOR
-    segments could be wrongly rejected (or wholesale-accepted) by pushdown.
-    """
-    refs = form.constituent("refs").values.astype(np.int64)
-    width = int(form.parameter("offsets_width", 64))
-    zigzag = bool(form.parameter("offsets_zigzag", False))
-    if form.scheme == "STEPFUNCTION":
-        return refs, refs
-    return saturating_segment_bounds(refs, width, zigzag)
-
-
 def range_mask_on_for(form: CompressedForm, bounds: RangeBounds
                       ) -> Tuple[Column, PushdownStats]:
     """Evaluate a range predicate on a FOR-family form with segment skipping.
@@ -202,14 +197,12 @@ def range_mask_on_for(form: CompressedForm, bounds: RangeBounds
     """
     if form.scheme not in ("FOR", "PFOR", "STEPFUNCTION"):
         raise QueryError(f"segment pushdown expects FOR/PFOR/STEPFUNCTION, got {form.scheme!r}")
+    from .translate import classify_segments
+
     n = form.original_length
     segment_length = int(form.parameter("segment_length"))
     refs = form.constituent("refs").values.astype(np.int64)
-    seg_low, seg_high = _segment_value_bounds(form)
-
-    reject = (seg_high < bounds.low) | (seg_low > bounds.high)
-    accept = (seg_low >= bounds.low) & (seg_high <= bounds.high)
-    inspect = ~(reject | accept)
+    accept, reject, inspect = classify_segments(form, bounds)
 
     seg_of_row = segment_index(n, segment_length)
     mask = accept[seg_of_row].copy()
@@ -224,10 +217,22 @@ def range_mask_on_for(form: CompressedForm, bounds: RangeBounds
     if inspect.any() and form.scheme != "STEPFUNCTION":
         rows_to_inspect = inspect[seg_of_row]
         stats.rows_decoded = int(rows_to_inspect.sum())
-        offsets = _residuals.decode_residuals(form.constituent("offsets"), form.parameters)
-        reconstructed = refs[seg_of_row[rows_to_inspect]] + offsets[rows_to_inspect]
-        mask[rows_to_inspect] = ((reconstructed >= bounds.low)
-                                 & (reconstructed <= bounds.high))
+        if stats.rows_decoded * 4 <= n:
+            # Sparse straddle: decode only the inspected rows' offsets (a
+            # positional gather into the packed stream) instead of the whole
+            # constituent.
+            inspect_positions = np.flatnonzero(rows_to_inspect)
+            offsets_at = _residuals.decode_residuals_at(
+                form.constituent("offsets"), form.parameters, inspect_positions)
+            reconstructed = refs[seg_of_row[inspect_positions]] + offsets_at
+            mask[inspect_positions] = ((reconstructed >= bounds.low)
+                                       & (reconstructed <= bounds.high))
+        else:
+            offsets = _residuals.decode_residuals(form.constituent("offsets"),
+                                                  form.parameters)
+            reconstructed = refs[seg_of_row[rows_to_inspect]] + offsets[rows_to_inspect]
+            mask[rows_to_inspect] = ((reconstructed >= bounds.low)
+                                     & (reconstructed <= bounds.high))
     elif inspect.any():
         # A pure model has no offsets to consult: inspecting means the model
         # alone cannot decide those rows exactly.  Be conservative (reject) —
@@ -253,24 +258,76 @@ def range_mask_on_for(form: CompressedForm, bounds: RangeBounds
 
 def range_mask_on_dict(form: CompressedForm, bounds: RangeBounds
                        ) -> Tuple[Column, PushdownStats]:
-    """Evaluate a range predicate on a DICT form by rewriting it onto codes."""
+    """Evaluate a range predicate on a DICT form by rewriting it onto codes.
+
+    The value range translates to a code range through the sorted dictionary
+    (two binary searches); packed code columns are then compared
+    word-parallel on the packed uint64 words — BitWeaving-style masking via
+    :func:`repro.columnar.ops.bitpack.packed_compare_range` — without
+    unpacking a single code.  ``rows_decoded`` reports how many codes had to
+    be individually decoded: zero on the word-parallel and trivial paths.
+    """
     if form.scheme != "DICT":
         raise QueryError(f"dictionary pushdown expects a DICT form, got {form.scheme!r}")
+    n = form.original_length
     lo_code, hi_code = DictionaryEncoding.rewrite_range_to_codes(
         form, bounds.low, bounds.high
     )
+    stats = PushdownStats(rows_total=n, rows_decoded=0)
+    dictionary_size = int(form.parameter("dictionary_size", 0))
+    if lo_code >= hi_code:
+        return Column(np.zeros(n, dtype=bool)), stats
+    if lo_code == 0 and hi_code >= dictionary_size:
+        return Column(np.ones(n, dtype=bool)), stats
     if form.parameter("codes_layout") == "packed":
-        codes = _bitpack.unpack_bits(
-            form.constituent("codes"),
-            width=form.parameter("code_width"),
-            count=form.parameter("count"),
-            dtype=np.int64,
-        ).values
+        width = int(form.parameter("code_width"))
+        count = int(form.parameter("count"))
+        hi_inclusive = min(hi_code - 1, (1 << width) - 1)
+        mask = _bitpack.packed_compare_range(
+            form.constituent("codes"), width=width, count=count,
+            lo=lo_code, hi=hi_inclusive,
+        )
     else:
         codes = form.constituent("codes").values
-    mask = (codes >= lo_code) & (codes < hi_code)
-    stats = PushdownStats(rows_total=form.original_length,
-                          rows_decoded=form.original_length)
+        mask = (codes >= lo_code) & (codes < hi_code)
+    return Column(mask), stats
+
+
+# --------------------------------------------------------------------------- #
+# NS: stored-domain (word-parallel) evaluation
+# --------------------------------------------------------------------------- #
+
+def range_mask_on_ns(form: CompressedForm, bounds: RangeBounds
+                     ) -> Optional[Tuple[Column, PushdownStats]]:
+    """Evaluate a range predicate on an NS form in its stored unsigned domain.
+
+    The ``none`` and ``bias`` transforms are order-preserving shifts, so the
+    bounds translate into the stored domain
+    (:func:`repro.engine.translate.translate_range_to_stored`) and the
+    comparison runs word-parallel against the packed words without
+    unpacking.  Zig-zag-transformed forms are not order-preserving; for them
+    this returns ``None``.
+    """
+    from . import translate
+
+    if form.scheme != "NS":
+        raise QueryError(f"NS pushdown expects an NS form, got {form.scheme!r}")
+    translated = translate.translate_range_to_stored(form, bounds)
+    if translated is None:
+        return None
+    n = form.original_length
+    stats = PushdownStats(rows_total=n, rows_decoded=0)
+    if translated == translate.EMPTY:
+        return Column(np.zeros(n, dtype=bool)), stats
+    lo, hi = translated
+    if form.parameter("mode") == "packed":
+        mask = _bitpack.packed_compare_range(
+            form.constituent("packed"), width=int(form.parameter("width")),
+            count=int(form.parameter("count")), lo=lo, hi=hi,
+        )
+    else:
+        values = form.constituent("values").values
+        mask = (values >= np.uint64(lo)) & (values <= np.uint64(hi))
     return Column(mask), stats
 
 
@@ -283,7 +340,10 @@ def range_mask_on_form(form: CompressedForm, bounds: RangeBounds
     """Evaluate a range predicate on *form* without full decompression, if supported.
 
     Returns ``None`` when no pushdown strategy applies to the form's scheme
-    (the caller should then decompress and filter normally).
+    (the caller should then decompress and filter normally).  This is the
+    single-layer dispatch; the capability-driven dispatch — which also peels
+    cascades and consults each scheme's advertised kernels — lives in
+    :func:`repro.engine.kernels.filter_range`.
     """
     if form.scheme in ("RLE", "RPE"):
         return range_mask_on_runs(form, bounds)
@@ -291,4 +351,6 @@ def range_mask_on_form(form: CompressedForm, bounds: RangeBounds
         return range_mask_on_for(form, bounds)
     if form.scheme == "DICT":
         return range_mask_on_dict(form, bounds)
+    if form.scheme == "NS":
+        return range_mask_on_ns(form, bounds)
     return None

@@ -217,6 +217,11 @@ class Query:
             use_pushdown=self._use_pushdown,
             use_zone_maps=self._use_zone_maps,
             preserve_filter_order=True,
+            # The shim's contract is ScanStats-exact equality with the seed
+            # engine, whose aggregates materialise through the scan;
+            # rerouting them through the compressed kernels would (validly)
+            # change the counters.  Use repro.api for compressed aggregation.
+            materialize_aggregates=True,
         )
         for predicate in self._predicates:
             ds = ds.filter(WrappedPredicate(predicate))

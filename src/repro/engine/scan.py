@@ -70,9 +70,9 @@ from ..columnar.column import Column
 from ..errors import QueryError
 from ..storage.column_store import StoredColumn, gather_rows
 from ..storage.table import Table
+from . import kernels
 from .operators import ScanStats, SelectionVector
-from .predicates import Between, Predicate
-from .pushdown import range_mask_on_form
+from .predicates import Between, Equals, Predicate, RangeBounds
 
 __all__ = ["ScanResult", "scan_table", "gather_rows"]
 
@@ -115,6 +115,23 @@ def _chunk_starts(stored: StoredColumn) -> np.ndarray:
     return np.asarray([chunk.row_offset for chunk in stored.chunks], dtype=np.int64)
 
 
+def _pushable_bounds(predicate: Predicate) -> Optional[RangeBounds]:
+    """The inclusive range a predicate pushes down as, if any.
+
+    ``Between`` carries its bounds; an integer ``Equals`` is the degenerate
+    range ``[value, value]``.  Anything else stays on the decompress-and-
+    compare path.
+    """
+    if isinstance(predicate, Between):
+        return predicate.bounds
+    if isinstance(predicate, Equals):
+        value = predicate.value
+        if isinstance(value, (int, np.integer)) \
+                and not isinstance(value, (bool, np.bool_)):
+            return RangeBounds(int(value), int(value))
+    return None
+
+
 def _overlapping_chunks(stored: StoredColumn, starts: np.ndarray,
                         lo: int, hi: int):
     """Chunks of *stored* intersecting the global row range ``[lo, hi)``."""
@@ -135,7 +152,8 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
                 lo: int, hi: int, use_pushdown: bool, use_zone_maps: bool,
                 materialize: Sequence[str],
                 row_filters: Sequence = (),
-                derive: Sequence[Tuple[str, object]] = ()) -> _RangeOutcome:
+                derive: Sequence[Tuple[str, object]] = (),
+                use_compressed_exec: bool = True) -> _RangeOutcome:
     """Evaluate the whole conjunction (and gather columns) over ``[lo, hi)``."""
     stats = ScanStats()
     span = hi - lo
@@ -145,6 +163,10 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
     #: between conjuncts and with the materialisation step below, so each
     #: chunk is decompressed at most once per scan pass.
     values_cache: Dict[Tuple[str, int], Column] = {}
+    #: (column name, chunk row offset) -> uncompressed bytes, for chunks some
+    #: step served in the compressed domain; chunks still unmaterialised when
+    #: the range finishes count as decompression output actually avoided.
+    compressed_saved: Dict[Tuple[str, int], int] = {}
 
     def chunk_values(name: str, chunk) -> Column:
         key = (name, chunk.row_offset)
@@ -197,13 +219,19 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
                 continue
 
             chunk_mask: Optional[np.ndarray] = None
-            if use_pushdown and isinstance(predicate, Between):
-                pushed = range_mask_on_form(chunk.form, predicate.bounds)
-                if pushed is not None:
-                    mask_column, push_stats = pushed
-                    chunk_mask = mask_column.values
-                    stats.chunks_pushed_down += 1
-                    stats.merge_pushdown(push_stats)
+            if use_pushdown:
+                bounds = _pushable_bounds(predicate)
+                if bounds is not None:
+                    pushed = kernels.filter_range(chunk.scheme, chunk.form,
+                                                  bounds)
+                    if pushed is not None:
+                        chunk_mask, push_stats = pushed
+                        stats.chunks_pushed_down += 1
+                        stats.rows_computed_compressed += o_hi - o_lo
+                        compressed_saved.setdefault(
+                            (name, chunk.row_offset),
+                            chunk.uncompressed_size_bytes())
+                        stats.merge_pushdown(push_stats)
             if chunk_mask is None:
                 chunk_mask = predicate.evaluate(chunk_values(name, chunk)).values
 
@@ -278,6 +306,21 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
                 start, stop = np.searchsorted(positions, [c_lo, c_hi])
                 if start == stop:
                     continue
+                key = (name, chunk.row_offset)
+                hits = stop - start
+                # Sparse hits on a not-yet-decompressed chunk whose form can
+                # gather positionally: stay in the compressed domain instead
+                # of scheduling a decompression (bit-identical either way).
+                if (use_compressed_exec and key not in values_cache
+                        and hits * 4 <= chunk.row_count):
+                    gathered = kernels.gather(chunk.scheme, chunk.form,
+                                              positions[start:stop] - c_lo)
+                    if gathered is not None:
+                        out[start:stop] = gathered
+                        stats.rows_computed_compressed += hits
+                        compressed_saved.setdefault(
+                            key, chunk.uncompressed_size_bytes())
+                        continue
                 values = chunk_values(name, chunk).values
                 out[start:stop] = values[positions[start:stop] - c_lo]
         return out
@@ -296,6 +339,9 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
             if value.ndim == 0:  # constant expression: broadcast
                 value = np.full(positions.size, value[()])
             pieces[out_name] = value
+    for key, saved_bytes in compressed_saved.items():
+        if key not in values_cache:
+            stats.bytes_decompressed_saved += saved_bytes
     return _RangeOutcome(positions=positions, stats=stats, pieces=pieces)
 
 
@@ -304,7 +350,8 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                parallelism: int = 1,
                materialize: Optional[Sequence[str]] = None,
                row_filters: Optional[Sequence] = None,
-               derive: Optional[Sequence[Tuple[str, object]]] = None
+               derive: Optional[Sequence[Tuple[str, object]]] = None,
+               use_compressed_exec: bool = True
                ) -> ScanResult:
     """Run the chunk-at-a-time scan pipeline over *table*.
 
@@ -316,6 +363,15 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
     (see the module docstring for the spec protocol).  ``parallelism > 1``
     fans the chunk ranges out over a thread pool; results are merged in
     chunk order and are bit-identical to a serial scan.
+
+    Compressed-domain execution is consulted before any decompression is
+    scheduled: with *use_pushdown*, range/point conjuncts dispatch through
+    the capability layer (:func:`repro.engine.kernels.filter_range`, which
+    also peels cascades and compares packed words word-parallel), and with
+    *use_compressed_exec* (default on) sparse materialisation gathers run
+    positionally on capable compressed forms instead of decompressing the
+    chunk.  ``ScanStats.rows_computed_compressed`` and
+    ``ScanStats.bytes_decompressed_saved`` account for both.
     """
     from ..columnar.compile import cache_info
 
@@ -374,7 +430,8 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
     def run_range(bounds: Tuple[int, int]) -> _RangeOutcome:
         return _scan_range(table, predicates, starts_by_column,
                            bounds[0], bounds[1], use_pushdown, use_zone_maps,
-                           materialize, row_filters=row_filters, derive=derive)
+                           materialize, row_filters=row_filters, derive=derive,
+                           use_compressed_exec=use_compressed_exec)
 
     if parallelism > 1 and len(ranges) > 1:
         with ThreadPoolExecutor(max_workers=parallelism) as pool:

@@ -1,0 +1,159 @@
+"""Predicate-constant translation through compression layers.
+
+Compressed-domain execution hinges on one observation: most lightweight
+schemes are *order-preserving coordinate changes*, so a predicate constant
+can be rewritten into the stored domain instead of rewriting the stored data
+into the value domain.  This module centralises those rewrites:
+
+* **cascade peeling** (:func:`resolve_form`) — a composite form such as
+  ``RLE∘[values=DELTA, lengths=NS]`` is reduced to its *outer* form by
+  decompressing only the nested constituents (which are short by
+  construction: run values, lengths, references).  The result is memoised on
+  the form, so composite, patched and model-backed columns reach the outer
+  scheme's compressed kernels at the cost of one small reconstruction — the
+  first time cascaded columns get pushdown at all;
+* **NS bound translation** (:func:`translate_range_to_stored`) — the
+  ``none`` and ``bias`` transforms are order-preserving shifts, so a value
+  range ``[lo, hi]`` becomes a stored-domain unsigned range and the
+  comparison can run word-parallel on the packed words
+  (:func:`repro.columnar.ops.bitpack.packed_compare_range`);
+* **DICT code translation** (:func:`translate_range_to_codes`) — the sorted
+  dictionary turns a value range into a code range (two binary searches on
+  the small dictionary);
+* **FOR segment classification** (:func:`classify_segments`) — per-segment
+  references bound every value in the segment, so the range constants
+  translate into whole-segment accept/reject verdicts, leaving only the
+  straddling segments to consult their offsets.
+
+Everything here is pure constant/metadata arithmetic: no function in this
+module decompresses row data (cascade peeling touches nested *constituents*
+only, never the column itself).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..schemes.base import CompressedForm, CompressionScheme
+from ..schemes.composite import Cascade
+from .predicates import RangeBounds
+
+__all__ = [
+    "EMPTY",
+    "resolve_form",
+    "translate_range_to_stored",
+    "translate_range_to_codes",
+    "segment_bounds",
+    "classify_segments",
+]
+
+#: Sentinel: the translated predicate can match nothing in this form.
+EMPTY = "empty"
+
+
+def resolve_form(
+    scheme: CompressionScheme,
+    form: CompressedForm,
+) -> Tuple[CompressionScheme, CompressedForm]:
+    """Peel cascade layers off ``(scheme, form)`` until a plain scheme remains.
+
+    Each peel materialises the nested constituents of one :class:`Cascade`
+    level (memoised on the form, see ``Cascade.resolved_outer_form``); the
+    returned pair is what the compressed-domain kernels dispatch on.
+    Non-cascade inputs are returned unchanged.
+    """
+    while isinstance(scheme, Cascade):
+        form = scheme.resolved_outer_form(form)
+        scheme = scheme.outer
+    return scheme, form
+
+
+# --------------------------------------------------------------------------- #
+# NS: value range -> stored unsigned range
+# --------------------------------------------------------------------------- #
+
+
+def translate_range_to_stored(
+    form: CompressedForm,
+    bounds: RangeBounds,
+) -> Union[str, None, Tuple[int, int]]:
+    """Rewrite ``[low, high]`` into the NS form's stored unsigned domain.
+
+    Returns the translated inclusive ``(lo, hi)`` clamped into
+    ``[0, 2**width - 1]``, the :data:`EMPTY` sentinel when no stored value
+    can match, or ``None`` when the transform is not order-preserving
+    (zig-zag) and no translation exists.
+    """
+    transform = form.parameter("transform", "none")
+    if transform == "zigzag":
+        return None
+    width = int(form.parameter("width"))
+    shift = int(form.parameter("bias", 0)) if transform == "bias" else 0
+    lo = bounds.low - shift
+    hi = bounds.high - shift
+    top = (1 << width) - 1
+    if hi < 0 or lo > top:
+        return EMPTY
+    return max(lo, 0), min(hi, top)
+
+
+# --------------------------------------------------------------------------- #
+# DICT: value range -> code range
+# --------------------------------------------------------------------------- #
+
+
+def translate_range_to_codes(
+    form: CompressedForm,
+    bounds: RangeBounds,
+) -> Tuple[int, int]:
+    """Rewrite ``[low, high]`` into the DICT form's code domain.
+
+    Returns the inclusive-exclusive code range ``[lo_code, hi_code)``; an
+    empty range (``lo_code >= hi_code``) means no stored value matches.
+    """
+    from ..schemes.dict_ import DictionaryEncoding
+
+    return DictionaryEncoding.rewrite_range_to_codes(form, bounds.low, bounds.high)
+
+
+# --------------------------------------------------------------------------- #
+# FOR family: value range -> per-segment verdicts
+# --------------------------------------------------------------------------- #
+
+
+def segment_bounds(form: CompressedForm) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``[low, high]`` value bounds of a FOR-family form, memoised.
+
+    Derivable from the references and the offset width alone (saturating at
+    the int64 limits, see :func:`repro.schemes.for_.saturating_segment_bounds`);
+    a multi-conjunct scan reuses one computation per form.
+    """
+    from ..schemes.for_ import saturating_segment_bounds
+
+    def compute() -> Tuple[np.ndarray, np.ndarray]:
+        refs = form.constituent("refs").values.astype(np.int64)
+        if form.scheme == "STEPFUNCTION":
+            return refs, refs
+        width = int(form.parameter("offsets_width", 64))
+        zigzag = bool(form.parameter("offsets_zigzag", False))
+        return saturating_segment_bounds(refs, width, zigzag)
+
+    return form.cached(("segment_bounds",), compute)
+
+
+def classify_segments(
+    form: CompressedForm,
+    bounds: RangeBounds,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Translate a value range into per-segment ``(accept, reject, inspect)``.
+
+    ``accept`` segments lie entirely inside the range, ``reject`` entirely
+    outside; only ``inspect`` segments need their offsets consulted.
+    """
+    seg_low, seg_high = segment_bounds(form)
+    reject = (seg_high < bounds.low) | (seg_low > bounds.high)
+    accept = (seg_low >= bounds.low) & (seg_high <= bounds.high)
+    inspect = ~(reject | accept)
+    return accept, reject, inspect

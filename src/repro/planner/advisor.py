@@ -40,7 +40,7 @@ from ..schemes import (
 )
 from ..schemes.base import CompressionScheme
 from ..storage.statistics import ColumnStatistics, compute_statistics
-from .cost_model import measure_bits_per_value, measure_decompression_cost
+from .cost_model import form_pushdown_capability, measure_decompression_cost
 
 
 @dataclass
@@ -51,6 +51,11 @@ class CandidateEvaluation:
     bits_per_value: float
     decompression_cost_per_value: float
     error: Optional[str] = None
+    #: Whether the scheme's forms evaluate range predicates in the
+    #: compressed domain (:data:`repro.schemes.base.KERNEL_FILTER_RANGE`).
+    #: Query-time cost the size/decompression pair cannot see; used to break
+    #: near-ties in the ranking.
+    pushdown_capable: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -72,18 +77,37 @@ class AdvisorReport:
     evaluations: List[CandidateEvaluation] = field(default_factory=list)
     size_weight: float = 1.0
     speed_weight: float = 0.25
+    #: Relative score margin within which two candidates count as tied; ties
+    #: break toward pushdown-capable schemes (query-time cost the
+    #: size/decompression score ignores).
+    tie_margin: float = 0.02
 
     @property
     def best(self) -> CandidateEvaluation:
+        """The winning candidate: lowest score, with near-ties (within
+        ``tie_margin``, relative) broken toward pushdown-capable schemes.
+
+        The size/decompression score is deliberately blind to *query-time*
+        cost; when it cannot separate two schemes, the one whose forms can
+        evaluate predicates without decompressing is strictly better to
+        query and wins the tie.
+        """
         feasible = [e for e in self.evaluations if e.feasible]
         if not feasible:
             raise PlanningError(f"no feasible scheme for column {self.column_name!r}")
-        return min(feasible, key=lambda e: e.score(self.size_weight, self.speed_weight))
+        scores = {id(e): e.score(self.size_weight, self.speed_weight)
+                  for e in feasible}
+        threshold = min(scores.values()) * (1.0 + self.tie_margin) + 1e-12
+        contenders = [e for e in feasible if scores[id(e)] <= threshold]
+        return min(contenders,
+                   key=lambda e: (not e.pushdown_capable, scores[id(e)]))
 
     def ranked(self) -> List[CandidateEvaluation]:
-        """All feasible evaluations, best first."""
+        """All feasible evaluations, best first (pushdown breaks exact ties)."""
         feasible = [e for e in self.evaluations if e.feasible]
-        return sorted(feasible, key=lambda e: e.score(self.size_weight, self.speed_weight))
+        return sorted(feasible,
+                      key=lambda e: (e.score(self.size_weight, self.speed_weight),
+                                     not e.pushdown_capable))
 
     def summary(self) -> str:
         """A small text table of the ranking (scheme, bits/value, cost)."""
@@ -94,7 +118,8 @@ class AdvisorReport:
             lines.append(
                 f"  {evaluation.scheme.describe():55s} "
                 f"{evaluation.bits_per_value:8.2f} bits/value   "
-                f"cost {evaluation.decompression_cost_per_value:8.2f}"
+                f"cost {evaluation.decompression_cost_per_value:8.2f}   "
+                f"{'pushdown' if evaluation.pushdown_capable else '-'}"
             )
         return "\n".join(lines)
 
@@ -163,11 +188,14 @@ def advise(
                            size_weight=size_weight, speed_weight=speed_weight)
     for scheme in candidates:
         try:
-            bits = measure_bits_per_value(scheme, sample)
+            form = scheme.compress(sample)
+            bits = form.bits_per_value()
+            capable = form_pushdown_capability(scheme, form)
             cost = measure_decompression_cost(scheme, sample)
             if not scheme.is_lossless:
                 raise CompressionError("lossy model schemes are not stand-alone candidates")
-            report.evaluations.append(CandidateEvaluation(scheme, bits, cost))
+            report.evaluations.append(
+                CandidateEvaluation(scheme, bits, cost, pushdown_capable=capable))
         except CompressionError as exc:
             report.evaluations.append(
                 CandidateEvaluation(scheme, float("inf"), float("inf"), error=str(exc))

@@ -82,6 +82,31 @@ def decode_residuals(column: Column, params: Dict[str, Any]) -> np.ndarray:
     return values.astype(np.int64)
 
 
+def decode_residuals_at(column: Column, params: Dict[str, Any],
+                        positions: np.ndarray) -> np.ndarray:
+    """Decode only the residuals at *positions* (int64 result).
+
+    The positional counterpart of :func:`decode_residuals`: packed layouts
+    extract just the requested values' bits
+    (:func:`repro.columnar.ops.bitpack.packed_gather`), aligned layouts
+    fancy-index — either way the element-wise arithmetic matches
+    :func:`decode_residuals` exactly, so gathering then decoding equals
+    decoding then gathering.
+    """
+    positions = np.asarray(positions)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if params["offsets_layout"] == "aligned":
+        values = column.values[positions].astype(np.uint64)
+    else:
+        values = _bitpack.packed_gather(column, width=params["offsets_width"],
+                                        count=params["offsets_count"],
+                                        positions=positions)
+    if params["offsets_zigzag"]:
+        return _bitpack.zigzag_decode(Column(values)).values
+    return values.astype(np.int64)
+
+
 def add_decode_steps(builder: PlanBuilder, params: Dict[str, Any],
                      input_name: str = "offsets", output_name: str = "offsets_decoded") -> str:
     """Append the residual-decoding steps to *builder*; return the binding name

@@ -35,6 +35,14 @@ from ..columnar.compile.executor import CompiledPlan
 from ..columnar.plan import Plan
 from ..errors import CompressionError, DecompressionError
 
+#: Compressed-domain kernel names a scheme may advertise for its forms (see
+#: :meth:`CompressionScheme.kernel_capabilities` and
+#: :mod:`repro.engine.kernels`, which implements the dispatch).
+KERNEL_FILTER_RANGE = "filter_range"   #: range/point predicate without decompression
+KERNEL_GATHER = "gather"               #: positional gather without full decompression
+KERNEL_AGGREGATE = "aggregate"         #: count/sum/min/max over a selection
+KERNEL_GROUP_CODES = "group_codes"     #: group-by on (dictionary) codes
+
 
 @dataclass
 class CompressedForm:
@@ -67,6 +75,32 @@ class CompressedForm:
     original_length: int = 0
     original_dtype: Any = np.int64
     nested: Dict[str, "CompressedForm"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived-artifact memoisation
+    # ------------------------------------------------------------------ #
+
+    def cached(self, key: Any, factory) -> Any:
+        """Return the memoised derived artifact *key*, computing it on demand.
+
+        Compressed-domain execution derives small artifacts from a form —
+        run end positions (a prefix sum over RLE lengths), per-segment value
+        bounds, the resolved outer form of a cascade — and a multi-conjunct
+        scan would otherwise recompute them once per predicate.  They are
+        cached on the form itself, which is treated as immutable after
+        construction (like its parameters).
+
+        The benign race under the scan scheduler's thread pool is resolved
+        by ``setdefault``: two threads may compute the same artifact, but
+        every caller observes a single winning value.
+        """
+        derived = self.__dict__.get("_derived")
+        if derived is None:
+            derived = self.__dict__.setdefault("_derived", {})
+        try:
+            return derived[key]
+        except KeyError:
+            return derived.setdefault(key, factory())
 
     # ------------------------------------------------------------------ #
     # Access helpers
@@ -265,6 +299,23 @@ class CompressionScheme(abc.ABC):
             return prefix + (form.scheme, frozen)
         except TypeError:  # unhashable configuration -> fall back to
             return None    # plan-signature caching; real bugs propagate
+
+    def kernel_capabilities(self, form: CompressedForm) -> frozenset:
+        """The compressed-domain kernels this scheme supports for *form*.
+
+        A subset of the ``KERNEL_*`` constants of this module.  The engine's
+        capability dispatch (:mod:`repro.engine.kernels`) consults this
+        before scheduling decompression: a form advertising
+        ``KERNEL_FILTER_RANGE`` can evaluate range predicates without
+        decompressing, ``KERNEL_GATHER`` can materialise individual
+        positions, ``KERNEL_AGGREGATE`` can count/sum/min/max over a
+        selection, and ``KERNEL_GROUP_CODES`` exposes pre-factorised group
+        codes (dictionary encoding).  Capabilities may depend on the form's
+        parameters (e.g. zig-zag-transformed NS forms are not
+        order-preserving, so they drop ``KERNEL_FILTER_RANGE``); they must
+        never depend on constituent data.  The default advertises nothing.
+        """
+        return frozenset()
 
     def decompress_fused(self, form: CompressedForm) -> Column:
         """Decompress with a hand-fused kernel, when the scheme provides one.

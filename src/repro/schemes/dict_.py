@@ -20,7 +20,14 @@ from ..columnar.column import Column
 from ..columnar.ops import bitpack as _bitpack
 from ..columnar.plan import Plan, PlanBuilder
 from ..errors import SchemeParameterError
-from .base import CompressedForm, CompressionScheme
+from .base import (
+    KERNEL_AGGREGATE,
+    KERNEL_FILTER_RANGE,
+    KERNEL_GATHER,
+    KERNEL_GROUP_CODES,
+    CompressedForm,
+    CompressionScheme,
+)
 
 
 class DictionaryEncoding(CompressionScheme):
@@ -63,6 +70,13 @@ class DictionaryEncoding(CompressionScheme):
 
     def expected_constituents(self) -> Tuple[str, ...]:
         return ("dictionary", "codes")
+
+    def kernel_capabilities(self, form: CompressedForm) -> frozenset:
+        """Code-domain execution: the sorted dictionary rewrites ranges onto
+        codes, codes are gatherable in place, aggregates reduce over the
+        dictionary, and the codes *are* pre-factorised group codes."""
+        return frozenset((KERNEL_FILTER_RANGE, KERNEL_GATHER,
+                          KERNEL_AGGREGATE, KERNEL_GROUP_CODES))
 
     # ------------------------------------------------------------------ #
 

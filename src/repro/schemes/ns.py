@@ -28,7 +28,12 @@ from ..columnar.column import Column
 from ..columnar.ops import bitpack as _bitpack
 from ..columnar.plan import Plan, PlanBuilder
 from ..errors import CompressionError, SchemeParameterError
-from .base import CompressedForm, CompressionScheme
+from .base import (
+    KERNEL_FILTER_RANGE,
+    KERNEL_GATHER,
+    CompressedForm,
+    CompressionScheme,
+)
 
 
 class NullSuppression(CompressionScheme):
@@ -77,6 +82,21 @@ class NullSuppression(CompressionScheme):
         super().validate(column)
         if self.signed == "reject" and len(column) and int(column.values.min()) < 0:
             raise CompressionError("NS(signed='reject') cannot compress negative values")
+
+    def kernel_capabilities(self, form: CompressedForm) -> frozenset:
+        """Stored-domain execution on the packed words.
+
+        The ``none`` and ``bias`` transforms are order-preserving shifts, so
+        range constants translate into the stored unsigned domain and the
+        comparison runs word-parallel on the packed buffer
+        (:func:`repro.columnar.ops.bitpack.packed_compare_range`).  Zig-zag
+        interleaves signs and is *not* order-preserving: those forms keep
+        only the positional gather.
+        """
+        capabilities = {KERNEL_GATHER}
+        if form.parameter("transform", "none") != "zigzag":
+            capabilities.add(KERNEL_FILTER_RANGE)
+        return frozenset(capabilities)
 
     # ------------------------------------------------------------------ #
     # Compression

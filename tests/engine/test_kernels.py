@@ -1,0 +1,249 @@
+"""Tests for the capability-dispatched compressed-execution kernels."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import Column
+from repro.columnar.ops import bitpack as _bitpack
+from repro.engine import RangeBounds, kernels, translate
+from repro.engine.pushdown import range_mask_on_ns, run_positions_of
+from repro.schemes import (
+    Cascade,
+    Delta,
+    DictionaryEncoding,
+    FrameOfReference,
+    Identity,
+    NullSuppression,
+    PatchedFrameOfReference,
+    PiecewiseLinear,
+    RunLengthEncoding,
+    RunPositionEncoding,
+)
+from repro.schemes.base import (
+    KERNEL_AGGREGATE,
+    KERNEL_FILTER_RANGE,
+    KERNEL_GATHER,
+    KERNEL_GROUP_CODES,
+)
+
+
+@pytest.fixture(scope="module")
+def column():
+    rng = np.random.default_rng(11)
+    values = np.repeat(rng.integers(-60, 600, 400),
+                       rng.integers(1, 6, 400)).astype(np.int64)
+    return Column(values)
+
+
+SCHEMES = [
+    RunLengthEncoding(),
+    RunPositionEncoding(),
+    DictionaryEncoding(),
+    DictionaryEncoding(codes_layout="aligned"),
+    FrameOfReference(segment_length=37),
+    FrameOfReference(segment_length=64, reference="mid"),
+    PatchedFrameOfReference(segment_length=23),
+    NullSuppression(),
+    NullSuppression(mode="aligned"),
+    NullSuppression(signed="bias"),
+    Identity(),
+    PiecewiseLinear(segment_length=19),
+    Cascade(RunLengthEncoding(), {"values": Delta(),
+                                  "lengths": NullSuppression()}),
+    Cascade(RunPositionEncoding(), {"values": Delta(),
+                                    "run_positions": Delta()}),
+]
+
+SCHEME_IDS = [s.describe() for s in SCHEMES]
+
+
+class TestCapabilities:
+    def test_declared_capabilities_are_kernel_names(self, column):
+        known = {KERNEL_FILTER_RANGE, KERNEL_GATHER, KERNEL_AGGREGATE,
+                 KERNEL_GROUP_CODES}
+        for scheme in SCHEMES:
+            form = scheme.compress(column)
+            assert kernels.capabilities(scheme, form) <= known
+
+    def test_zigzag_ns_drops_filter_but_keeps_gather(self):
+        scheme = NullSuppression(signed="zigzag")
+        form = scheme.compress(Column(np.array([-5, 3, -1, 7], dtype=np.int64)))
+        capabilities = kernels.capabilities(scheme, form)
+        assert KERNEL_FILTER_RANGE not in capabilities
+        assert KERNEL_GATHER in capabilities
+
+    def test_cascade_inherits_outer_capabilities(self, column):
+        cascade = Cascade(RunLengthEncoding(), {"values": Delta()})
+        form = cascade.compress(column)
+        plain = RunLengthEncoding().compress(column)
+        assert kernels.capabilities(cascade, form) \
+            == kernels.capabilities(RunLengthEncoding(), plain)
+
+    def test_capability_probe_touches_no_constituents(self, column):
+        """Consulting capabilities must not materialise lazy constituents
+        (the mmap reader relies on this for I/O-free planning)."""
+        class Exploding(dict):
+            def __getitem__(self, key):
+                raise AssertionError(f"capability probe read constituent {key!r}")
+
+        cascade = Cascade(RunLengthEncoding(), {"values": Delta()})
+        form = cascade.compress(column)
+        form.columns = Exploding(lengths=None)
+        assert KERNEL_FILTER_RANGE in cascade.kernel_capabilities(form)
+
+
+class TestGatherKernel:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=SCHEME_IDS)
+    def test_gather_equals_decompress_then_index(self, scheme, column):
+        form = scheme.compress(column)
+        reference = scheme.decompress(form).values
+        rng = np.random.default_rng(3)
+        positions = rng.integers(0, len(column), 137)
+        gathered = kernels.gather(scheme, form, positions)
+        assert gathered is not None
+        assert gathered.dtype == reference.dtype
+        assert np.array_equal(gathered, reference[positions])
+
+    def test_gather_empty_positions(self, column):
+        scheme = RunLengthEncoding()
+        form = scheme.compress(column)
+        out = kernels.gather(scheme, form, np.empty(0, dtype=np.int64))
+        assert out is not None and out.size == 0
+
+    def test_gather_unsupported_returns_none(self, column):
+        scheme = Delta()
+        form = scheme.compress(column)
+        assert kernels.gather(scheme, form, np.array([0, 1])) is None
+
+
+class TestFilterKernel:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=SCHEME_IDS)
+    @pytest.mark.parametrize("bounds", [RangeBounds(0, 250),
+                                        RangeBounds(-60, -60),
+                                        RangeBounds(10_000, 20_000)])
+    def test_filter_matches_reference(self, scheme, column, bounds):
+        form = scheme.compress(column)
+        pushed = kernels.filter_range(scheme, form, bounds)
+        if pushed is None:
+            assert not kernels.supports(scheme, form, KERNEL_FILTER_RANGE)
+            return
+        mask, stats = pushed
+        reference = scheme.decompress(form).values
+        assert np.array_equal(mask, (reference >= bounds.low)
+                              & (reference <= bounds.high))
+        assert stats.rows_total == len(column)
+
+    def test_ns_bias_translates_bounds(self):
+        values = Column(np.array([-100, -50, 0, 50, 100], dtype=np.int64))
+        scheme = NullSuppression(signed="bias")
+        form = scheme.compress(values)
+        translated = translate.translate_range_to_stored(form, RangeBounds(-50, 50))
+        assert translated == (50, 150)
+        mask, __ = range_mask_on_ns(form, RangeBounds(-50, 50))
+        assert mask.values.tolist() == [False, True, True, True, False]
+
+    def test_ns_disjoint_range_is_empty_sentinel(self):
+        values = Column(np.array([5, 6, 7], dtype=np.int64))
+        form = NullSuppression().compress(values)
+        assert translate.translate_range_to_stored(
+            form, RangeBounds(-9, -1)) == translate.EMPTY
+
+
+class TestAggregateKernel:
+    @pytest.mark.parametrize("scheme", [RunLengthEncoding(),
+                                        RunPositionEncoding(),
+                                        DictionaryEncoding(),
+                                        Identity()],
+                             ids=lambda s: s.describe())
+    @pytest.mark.parametrize("how", ["sum", "min", "max"])
+    def test_whole_form_aggregate_matches_numpy(self, scheme, column, how):
+        form = scheme.compress(column)
+        result = kernels.aggregate_whole(scheme, form, how)
+        assert result is not None
+        values = column.values
+        expected = {"sum": values.sum(dtype=np.int64),
+                    "min": values.min(), "max": values.max()}[how]
+        assert result == expected
+
+    def test_uint64_sum_uses_unsigned_accumulator(self):
+        values = Column(np.array([2**63, 2**63 - 1, 5, 5], dtype=np.uint64))
+        form = RunLengthEncoding().compress(values)
+        result = kernels.aggregate_whole(RunLengthEncoding(), form, "sum")
+        assert result == values.values.sum(dtype=np.uint64)
+
+
+class TestGroupCodes:
+    @pytest.mark.parametrize("layout", ["packed", "aligned"])
+    def test_codes_reconstruct_values(self, column, layout):
+        scheme = DictionaryEncoding(codes_layout=layout)
+        form = scheme.compress(column)
+        positions = np.arange(0, len(column), 3)
+        coded = kernels.group_codes(scheme, form, positions)
+        assert coded is not None
+        codes, groups = coded
+        assert np.array_equal(groups[codes], column.values[positions])
+        full = kernels.group_codes(scheme, form, None)
+        assert np.array_equal(full[1][full[0]], column.values)
+
+
+class TestMemoisation:
+    def test_run_positions_cached_per_form(self, column):
+        form = RunLengthEncoding().compress(column)
+        first = run_positions_of(form)
+        assert run_positions_of(form) is first
+
+    def test_segment_bounds_cached_per_form(self, column):
+        form = FrameOfReference(segment_length=32).compress(column)
+        first = translate.segment_bounds(form)
+        assert translate.segment_bounds(form) is first
+
+    def test_cascade_resolution_cached_per_form(self, column):
+        cascade = Cascade(RunLengthEncoding(), {"values": Delta()})
+        form = cascade.compress(column)
+        __, resolved = translate.resolve_form(cascade, form)
+        __, again = translate.resolve_form(cascade, form)
+        assert resolved is again
+
+
+class TestWordParallelBitpack:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 7, 8, 11, 16, 24, 32,
+                                       33, 63, 64])
+    def test_compare_range_matches_unpacked(self, width):
+        rng = np.random.default_rng(width)
+        count = 1_003  # odd size: tail fields must be masked off
+        top = (1 << width) - 1
+        values = rng.integers(0, min(top, 2**50) + 1, count).astype(np.uint64)
+        packed = _bitpack.pack_bits(Column(values), width=width)
+        for lo, hi in [(0, top), (0, 0), (min(3, top), min(17, top)),
+                       (int(values.min()), int(values.max()))]:
+            if lo > hi:
+                continue
+            mask = _bitpack.packed_compare_range(packed, width, count, lo, hi)
+            assert np.array_equal(
+                mask, (values >= np.uint64(lo)) & (values <= np.uint64(hi))), \
+                (width, lo, hi)
+
+    @pytest.mark.parametrize("width", [3, 4, 8, 17, 64])
+    def test_packed_gather_matches_unpack(self, width):
+        rng = np.random.default_rng(width)
+        count = 517
+        values = rng.integers(0, 1 << min(width, 50), count).astype(np.uint64)
+        packed = _bitpack.pack_bits(Column(values), width=width)
+        positions = rng.integers(0, count, 301)
+        assert np.array_equal(
+            _bitpack.packed_gather(packed, width, count, positions),
+            values[positions])
+
+    def test_compare_range_rejects_bad_bounds(self):
+        packed = _bitpack.pack_bits(Column(np.array([1, 2, 3], dtype=np.uint64)),
+                                    width=4)
+        from repro.errors import OperatorError
+        with pytest.raises(OperatorError):
+            _bitpack.packed_compare_range(packed, 4, 3, 0, 16)
+
+    def test_packed_gather_rejects_out_of_range_positions(self):
+        packed = _bitpack.pack_bits(Column(np.array([1, 2, 3], dtype=np.uint64)),
+                                    width=4)
+        from repro.errors import OperatorError
+        with pytest.raises(OperatorError):
+            _bitpack.packed_gather(packed, 4, 3, np.array([3]))

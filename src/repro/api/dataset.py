@@ -192,11 +192,54 @@ class Dataset:
     def _replace_options(self, **changes: Any) -> "Dataset":
         return Dataset(self._plan, replace(self._options, **changes))
 
-    def with_parallelism(self, workers: int) -> "Dataset":
-        """Fan each scan's chunk ranges out over *workers* threads."""
-        if workers < 1:
-            raise QueryError(f"parallelism must be >= 1, got {workers}")
+    def with_parallelism(self, workers: Union[int, str]) -> "Dataset":
+        """Fan each scan's chunk ranges out over *workers* workers.
+
+        ``"auto"`` resolves to ``min(cpu_count, chunks)`` per scan, falling
+        back to serial for tiny tables.  The backend stays whatever
+        :meth:`with_backend` chose (threads by default).
+        """
+        if workers == "auto":
+            return self._replace_options(parallelism="auto")
+        if not isinstance(workers, int) or workers < 1:
+            raise QueryError(
+                f"parallelism must be >= 1 or 'auto', got {workers!r}")
         return self._replace_options(parallelism=int(workers))
+
+    def with_backend(self, backend: str, workers: Optional[Union[int, str]] = None,
+                     cache_bytes: Optional[int] = None) -> "Dataset":
+        """Choose the scan execution backend.
+
+        *backend* is ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``
+        (the default behaviour: threads when ``parallelism > 1``).  The
+        process backend runs scans on a pool of long-lived worker processes
+        that mmap the same packed table file (see
+        :mod:`repro.engine.parallel`) and falls back to serial — recorded in
+        ``explain()`` and ``ScanResult.backend`` — for tables not backed by
+        a packed file.  *workers* sets the parallelism (like
+        :meth:`with_parallelism`); *cache_bytes* gives each process worker a
+        hot-chunk decompression LRU with that byte budget.
+        """
+        from ..engine.scan import BACKENDS
+
+        if backend != "auto" and backend not in BACKENDS:
+            raise QueryError(f"unknown execution backend {backend!r}; "
+                             f"known: {BACKENDS + ('auto',)}")
+        changes: dict = {"backend": None if backend == "auto" else backend}
+        if workers is not None:
+            if workers == "auto":
+                changes["parallelism"] = "auto"
+            elif not isinstance(workers, int) or workers < 1:
+                raise QueryError(
+                    f"parallelism must be >= 1 or 'auto', got {workers!r}")
+            else:
+                changes["parallelism"] = int(workers)
+        if cache_bytes is not None:
+            if not isinstance(cache_bytes, int) or cache_bytes < 0:
+                raise QueryError(
+                    f"cache_bytes must be a non-negative int, got {cache_bytes!r}")
+            changes["cache_bytes"] = cache_bytes
+        return self._replace_options(**changes)
 
     def without_pushdown(self) -> "Dataset":
         """Disable compressed-form pushdown (benchmark baseline mode)."""
@@ -243,8 +286,13 @@ class Dataset:
                 indent: int) -> None:
         pad = "  " * indent
         if isinstance(node, logical.PScan):
+            from ..engine.scan import describe_backend
+
             options = self._options
-            flags = [f"parallelism={options.parallelism}",
+            backend = describe_backend(node.table, options.backend,
+                                       options.parallelism)
+            flags = [f"backend={backend}",
+                     f"parallelism={options.parallelism}",
                      f"pushdown={'on' if options.use_pushdown else 'off'}",
                      f"zone-maps={'on' if options.use_zone_maps else 'off'}"]
             lines.append(f"{pad}{node.label()} [{', '.join(flags)}]")

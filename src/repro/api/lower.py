@@ -66,7 +66,18 @@ __all__ = [
 class LoweringOptions:
     """Physical knobs shared by the optimizer and the executor."""
 
-    parallelism: int = 1
+    #: Worker count for the scan fan-out: an int, or ``"auto"`` for
+    #: ``min(cpu_count, chunks)`` with a serial fallback on tiny tables.
+    parallelism: Any = 1
+    #: Scan execution backend: ``None`` keeps the historical behaviour
+    #: (``parallelism > 1`` fans out over threads); ``"serial"`` /
+    #: ``"thread"`` / ``"process"`` select explicitly.  The process backend
+    #: additionally routes partial-mergeable aggregates through
+    #: per-worker partial states (:func:`_exec_aggregate_partial`).
+    backend: Optional[str] = None
+    #: Byte budget for each process worker's hot-chunk decompression LRU
+    #: (0 = off).  Only the process backend uses it.
+    cache_bytes: int = 0
     use_pushdown: bool = True
     use_zone_maps: bool = True
     #: Keep filter conjuncts in source order instead of reordering them by
@@ -374,7 +385,9 @@ def _exec_pscan(node: logical.PScan, options: LoweringOptions) -> Frame:
                       materialize=node.materialize,
                       row_filters=row_filters,
                       derive=derive,
-                      use_compressed_exec=options.use_compressed_exec)
+                      use_compressed_exec=options.use_compressed_exec,
+                      backend=options.backend,
+                      cache_bytes=options.cache_bytes)
     columns = {name: scan.columns[name] for name in node.output}
     return Frame(columns=columns, row_count=len(scan.selection),
                  stats_list=[scan.stats] if scan.stats is not None else [])
@@ -530,7 +543,9 @@ def _exec_aggregate_compressed(node: logical.Aggregate, spec: Dict[str, Any],
                       parallelism=options.parallelism,
                       materialize=[],
                       row_filters=row_filters,
-                      use_compressed_exec=True)
+                      use_compressed_exec=True,
+                      backend=options.backend,
+                      cache_bytes=options.cache_bytes)
     positions = scan.selection.positions.values
     stats = scan.stats if scan.stats is not None else ScanStats()
 
@@ -586,9 +601,82 @@ def _exec_aggregate_compressed(node: logical.Aggregate, spec: Dict[str, Any],
                  stats_list=[stats], aggregated_rows=int(positions.size))
 
 
+def _partial_aggregate_eligible(table: Table, spec: Dict[str, Any]) -> bool:
+    """Whether every aggregate in *spec* has a mergeable partial state.
+
+    Integer sums merge exactly (mod 2**64) under any association; min/max
+    are lattice joins; count is a plain sum.  Float sums (scalar or grouped)
+    depend on summation order, so they stay on the single-pass path.
+    """
+    for __, op, column in spec["aggregates"]:
+        if op == "sum" and column is not None \
+                and not np.issubdtype(table.column(column).dtype, np.integer):
+            return False
+    return True
+
+
+def _exec_aggregate_partial(node: logical.Aggregate, spec: Dict[str, Any],
+                            options: LoweringOptions) -> Optional[Frame]:
+    """Aggregate via per-worker partial states on the process backend.
+
+    Workers scan their chunk ranges and ship mergeable aggregate states
+    (:class:`~repro.engine.operators.ScalarAggState` /
+    :class:`~repro.engine.operators.GroupedAggState`) instead of positions;
+    the coordinator folds them in chunk order with
+    :func:`~repro.engine.operators.merge_states`.  Returns ``None`` when the
+    process backend cannot run this plan (not a packed table, unpicklable
+    spec, or a single effective worker) — the caller then uses the serial
+    compressed path.  Results and deterministic stats are bit-identical to
+    that path.
+    """
+    from ..engine import parallel
+    from ..engine.scan import _grid_ranges, resolve_parallelism
+
+    child = node.child
+    assert isinstance(child, logical.PScan)
+    predicates, row_filters = _split_conjuncts(child)
+    if not predicates and not row_filters:
+        return None  # predicate-less scans skip the range scheduler entirely
+    ranges = _grid_ranges(child.table, predicates, row_filters)
+    workers = resolve_parallelism(options.parallelism, len(ranges),
+                                  child.table.row_count)
+    if workers <= 1:
+        return None
+    scan_spec = parallel.ScanSpec(
+        predicates=tuple(predicates), row_filters=tuple(row_filters),
+        use_pushdown=options.use_pushdown,
+        use_zone_maps=options.use_zone_maps,
+        use_compressed_exec=True, cache_bytes=options.cache_bytes,
+        aggregates=spec)
+    try:
+        state, stats, rows = parallel.run_process_aggregate(
+            child.table, workers, scan_spec)
+    except parallel.ProcessBackendUnavailable:
+        return None
+
+    if spec["key"] is None:
+        scalars = {name: agg_state.finalize()
+                   for name, agg_state in state.items()}
+        return Frame(columns={}, row_count=rows, scalars=scalars,
+                     stats_list=[stats], aggregated_rows=rows)
+    key_output = node.keys[0].output_name()
+    columns: Dict[str, Column] = {
+        key_output: Column(state.keys, name=key_output)}
+    for output_name, __, __ in spec["aggregates"]:
+        columns[output_name] = Column(state.aggregates[output_name][1],
+                                      name=output_name)
+    return Frame(columns=columns, row_count=int(state.keys.size),
+                 stats_list=[stats], aggregated_rows=rows)
+
+
 def _exec_aggregate(node: logical.Aggregate, options: LoweringOptions) -> Frame:
     spec = compressed_aggregate_plan(node, options)
     if spec is not None:
+        if options.backend == "process" \
+                and _partial_aggregate_eligible(node.child.table, spec):
+            frame = _exec_aggregate_partial(node, spec, options)
+            if frame is not None:
+                return frame
         return _exec_aggregate_compressed(node, spec, options)
     return _exec_aggregate_materialized(node, options)
 

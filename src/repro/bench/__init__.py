@@ -7,9 +7,12 @@ benchmark (``python -m repro.bench.scan_pipeline``), and
 :mod:`repro.bench.api_overhead` the lazy-API plan-overhead and
 predicate-reordering benchmark (``python -m repro.bench.api_overhead``), and
 :mod:`repro.bench.io_scan` the cold-scan benchmark of the packed v2 format
-against the eager v1 loader (``python -m repro.bench.io_scan``);
+against the eager v1 loader (``python -m repro.bench.io_scan``), and
+:mod:`repro.bench.parallel_scan` the serial-vs-thread-vs-process backend
+benchmark over a packed table (``python -m repro.bench.parallel_scan``);
 they write ``BENCH_plan_compile.json`` / ``BENCH_scan_pipeline.json`` /
-``BENCH_api_plan.json`` / ``BENCH_io.json`` for cross-PR perf tracking.
+``BENCH_api_plan.json`` / ``BENCH_io.json`` / ``BENCH_parallel_scan.json``
+for cross-PR perf tracking.
 """
 
 from .harness import (

@@ -1,0 +1,262 @@
+"""Parallel-scan benchmark: serial vs thread vs process backends.
+
+Over a packed v2 table (the process backend's natural habitat — workers
+``mmap`` the same file), this measures the same work on every backend at
+1/2/4 workers:
+
+* the **3-column conjunction** filter scenario from the scan-pipeline
+  benchmark (the acceptance scenario: the process backend must reach
+  ``parallel_speedup >= 2.0`` at 4 workers on a >= 4-core machine, and must
+  never be slower than serial);
+* a **grouped aggregate** (dictionary-coded key) that exercises the
+  partial-aggregate-state merge instead of positions-over-the-pipe.
+
+Each (backend, workers) cell reports a **cold** time — caches cleared,
+process pools torn down, so pool startup and per-worker cache warming are
+*in* the number — and a **warm** best-of-N.  Bit-identity against the
+serial backend is asserted for every cell regardless of timing.
+
+On a single-core runner (the methodology fix this benchmark family got:
+``cpu_count`` is recorded and respected), timings that cannot show
+parallelism are skipped and flagged instead of reporting noise; pass
+``--force`` to measure anyway.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.bench.parallel_scan [--quick] [--force] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..api import col, dataset
+from ..columnar.compile import clear_caches
+from ..engine import parallel
+from ..engine.scan import scan_table
+from ..engine.predicates import Between
+from ..io.writer import write_packed_table
+from ..io.reader import open_packed_table
+from ..schemes import (
+    DictionaryEncoding,
+    FrameOfReference,
+    NullSuppression,
+    RunLengthEncoding,
+)
+from ..storage.table import Table
+from .harness import time_callable
+
+DEFAULT_NUM_ROWS = 1_000_000
+QUICK_NUM_ROWS = 131_072
+DEFAULT_CHUNK_SIZE = 65_536
+QUICK_CHUNK_SIZE = 8_192
+WORKER_COUNTS = (1, 2, 4)
+MEASURED_BACKENDS = ("thread", "process")
+
+
+def build_packed_table(directory: Path, num_rows: int, chunk_size: int,
+                       seed: int = 20_180_416) -> Table:
+    """The scan-pipeline table plus a dictionary-coded group key, packed."""
+    rng = np.random.default_rng(seed)
+    data = {
+        "ship_date": np.sort(rng.integers(0, 2_000, num_rows)).astype(np.int64),
+        "price": (np.cumsum(rng.integers(-4, 5, num_rows)) + 100_000).astype(np.int64),
+        "quantity": rng.integers(0, 1 << 10, num_rows).astype(np.int64),
+        "category": rng.integers(0, 48, num_rows).astype(np.int64),
+    }
+    table = Table.from_pydict(
+        data,
+        schemes={
+            "ship_date": RunLengthEncoding(),
+            "price": FrameOfReference(segment_length=256),
+            "quantity": NullSuppression(),
+            "category": DictionaryEncoding(),
+        },
+        chunk_size=chunk_size,
+    )
+    path = directory / "parallel_scan.rpk"
+    write_packed_table(table, path)
+    return open_packed_table(path).table
+
+
+def _predicates(table: Table) -> List[Between]:
+    date_hi = 2_000
+    prices = table.column("price")
+    price_lo = min(c.statistics.minimum for c in prices.chunks) + 200
+    price_hi = max(c.statistics.maximum for c in prices.chunks) - 200
+    return [
+        Between("ship_date", date_hi // 10, (date_hi * 6) // 10),
+        Between("price", price_lo, price_hi),
+        Between("quantity", 32, 768),
+    ]
+
+
+def _cold(fn: Callable[[], Any]) -> float:
+    """One timed run from truly cold state: compiled-plan caches cleared and
+    every process pool torn down (so pool startup is part of the number)."""
+    clear_caches()
+    parallel.shutdown_pools()
+    return time_callable(fn, repeats=1, warmup=0).best_seconds
+
+
+def _scenarios(table: Table) -> List[Dict[str, Any]]:
+    predicates = _predicates(table)
+
+    def filter_run(backend: Optional[str], workers: int) -> np.ndarray:
+        return scan_table(table, predicates, backend=backend,
+                          parallelism=workers).selection.positions.values
+
+    def aggregate_run(backend: Optional[str], workers: int) -> Dict[str, Any]:
+        ds = (dataset(table)
+              .filter(col("quantity").between(32, 768))
+              .group_by("category")
+              .agg(col("price").sum().alias("revenue"),
+                   col("price").min().alias("floor"),
+                   col("quantity").count().alias("n")))
+        if backend is not None:
+            ds = ds.with_backend(backend, workers=workers)
+        result = ds.collect()
+        return {name: column.values
+                for name, column in result.columns.items()}
+
+    def filter_equal(a: np.ndarray, b: np.ndarray) -> bool:
+        return np.array_equal(a, b)
+
+    def aggregate_equal(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+        return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+    return [
+        {"name": "three_columns",
+         "description": "3-predicate Between conjunction over 3 columns",
+         "run": filter_run, "equal": filter_equal},
+        {"name": "grouped_aggregate",
+         "description": "group-by over a dictionary-coded key with "
+                        "sum/min/count (partial-state merge on the process "
+                        "backend)",
+         "run": aggregate_run, "equal": aggregate_equal},
+    ]
+
+
+def measure_scenario(scenario: Dict[str, Any], repeats: int,
+                     measure_parallel: bool) -> Dict[str, Any]:
+    run = scenario["run"]
+    equal = scenario["equal"]
+
+    reference = run("serial", 1)
+    serial_warm = time_callable(lambda: run("serial", 1),
+                                repeats=repeats, warmup=1).best_seconds
+    serial_cold = _cold(lambda: run("serial", 1))
+
+    cells: List[Dict[str, Any]] = []
+    for backend in MEASURED_BACKENDS:
+        for workers in WORKER_COUNTS:
+            # Correctness gate first, timed or not: every backend/worker
+            # combination must be bit-identical to serial.
+            assert equal(reference, run(backend, workers)), \
+                (scenario["name"], backend, workers)
+            cell: Dict[str, Any] = {"backend": backend, "workers": workers}
+            if measure_parallel:
+                cell["cold_s"] = _cold(lambda: run(backend, workers))
+                cell["warm_s"] = time_callable(
+                    lambda: run(backend, workers),
+                    repeats=repeats, warmup=1).best_seconds
+                cell["parallel_speedup"] = serial_warm / max(cell["warm_s"],
+                                                             1e-12)
+            else:
+                cell["cold_s"] = None
+                cell["warm_s"] = None
+                cell["parallel_speedup"] = None
+            cells.append(cell)
+
+    return {
+        "scenario": scenario["name"],
+        "description": scenario["description"],
+        "serial_cold_s": serial_cold,
+        "serial_warm_s": serial_warm,
+        "backends": cells,
+    }
+
+
+def run_benchmark(quick: bool = False, force: bool = False,
+                  repeats: Optional[int] = None) -> Dict[str, Any]:
+    num_rows = QUICK_NUM_ROWS if quick else DEFAULT_NUM_ROWS
+    chunk_size = QUICK_CHUNK_SIZE if quick else DEFAULT_CHUNK_SIZE
+    repeats = repeats if repeats is not None else (2 if quick else 5)
+    cpu_count = os.cpu_count() or 1
+    measure_parallel = force or cpu_count > 1
+    skip_reason = None if measure_parallel else (
+        "cpu_count == 1: parallel timings would only measure scheduling "
+        "overhead (pass --force to record them anyway); bit-identity is "
+        "still asserted for every backend")
+
+    with tempfile.TemporaryDirectory(prefix="repro-parallel-bench-") as tmp:
+        table = build_packed_table(Path(tmp), num_rows, chunk_size)
+        scenarios = [measure_scenario(scenario, repeats, measure_parallel)
+                     for scenario in _scenarios(table)]
+    parallel.shutdown_pools()
+
+    return {
+        "benchmark": "parallel_scan",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "worker_counts": list(WORKER_COUNTS),
+        "rows": num_rows,
+        "chunk_size": chunk_size,
+        "chunks": -(-num_rows // chunk_size),
+        "timings_skipped": not measure_parallel,
+        "skip_reason": skip_reason,
+        "scenarios": scenarios,
+    }
+
+
+def write_bench_json(path: str = "BENCH_parallel_scan.json",
+                     quick: bool = False, force: bool = False) -> Dict[str, Any]:
+    report = run_benchmark(quick=quick, force=force)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+def _format_cell(cell: Dict[str, Any]) -> str:
+    label = f"{cell['backend']}[{cell['workers']}]"
+    if cell["warm_s"] is None:
+        return f"  {label:>12}  (timing skipped)"
+    return (f"  {label:>12}  cold {cell['cold_s'] * 1e3:8.2f} ms"
+            f"  warm {cell['warm_s'] * 1e3:8.2f} ms"
+            f"  speedup {cell['parallel_speedup']:5.2f}x")
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - CLI
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small data, few repeats (CI smoke mode)")
+    parser.add_argument("--force", action="store_true",
+                        help="measure parallel timings even on one CPU")
+    parser.add_argument("--out", default="BENCH_parallel_scan.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    report = write_bench_json(args.out, quick=args.quick, force=args.force)
+    for scenario in report["scenarios"]:
+        print(f"{scenario['scenario']}: serial"
+              f" cold {scenario['serial_cold_s'] * 1e3:8.2f} ms"
+              f" warm {scenario['serial_warm_s'] * 1e3:8.2f} ms")
+        for cell in scenario["backends"]:
+            print(_format_cell(cell))
+    if report["timings_skipped"]:
+        print(f"note: {report['skip_reason']}")
+    print(f"wrote {args.out} (cpu_count={report['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

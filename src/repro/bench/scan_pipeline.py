@@ -10,13 +10,18 @@ same multi-predicate conjunction:
 * the **pipeline** path — :func:`repro.engine.scan.scan_table`: the whole
   conjunction evaluated chunk-at-a-time with chunk-local mask intersection,
   per-chunk short-circuiting and shared per-chunk decompression;
-* the **parallel pipeline** — the same, fanned out over a thread pool
-  (``parallelism=4``).
+* the **parallel pipeline** — the same, fanned out over a thread pool with
+  ``parallelism="auto"`` (``min(cpu_count, chunks)``, serial on tiny
+  tables).
 
 Results go to ``BENCH_scan_pipeline.json`` so successive PRs have a perf
-trajectory.  ``parallel_speedup`` is reported as measured — on a single-core
-runner it is expected to hover around 1.0x (the merge order makes the
-results bit-identical either way, which the benchmark asserts).
+trajectory.  Parallel timings are only *measured* when the machine can
+actually run anything in parallel: on a single-core runner (or when
+``"auto"`` resolves to one worker) the scenario records
+``parallel_skipped`` with the reason instead of a meaningless ~1.0x number
+— the old harness timed ``parallelism=4`` on ``cpu_count: 1`` machines and
+dutifully reported slowdowns that said nothing about the scheduler.
+Bit-identity of the parallel path is asserted regardless.
 
 Run as a module::
 
@@ -37,7 +42,7 @@ from ..columnar.compile import clear_caches
 from ..engine.operators import SelectionVector
 from ..engine.predicates import Between, Predicate
 from ..engine.pushdown import range_mask_on_form
-from ..engine.scan import scan_table
+from ..engine.scan import resolve_parallelism, scan_table
 from ..schemes import FrameOfReference, NullSuppression, RunLengthEncoding
 from ..storage.table import Table
 from .harness import time_callable
@@ -45,7 +50,7 @@ from .harness import time_callable
 DEFAULT_NUM_ROWS = 1_000_000
 QUICK_NUM_ROWS = 131_072
 CHUNK_SIZE = 65_536
-PARALLELISM = 4
+PARALLELISM = "auto"
 
 
 def build_table(num_rows: int, seed: int = 20_180_416) -> Tuple[Dict[str, np.ndarray], Table]:
@@ -161,7 +166,12 @@ def measure_scenario(scenario: Dict[str, Any], table: Table,
         return scan_table(table, predicates, parallelism=PARALLELISM,
                           **kwargs).selection
 
-    # Correctness gate: all three paths must select identical positions.
+    num_chunks = table.column(predicates[0].column_name).num_chunks
+    effective_workers = resolve_parallelism(PARALLELISM, num_chunks,
+                                            table.row_count)
+
+    # Correctness gate: all three paths must select identical positions
+    # (asserted even when the parallel timing below is skipped).
     reference = seed()
     serial_positions = pipeline().positions.values
     parallel_positions = pipeline_parallel().positions.values
@@ -170,7 +180,21 @@ def measure_scenario(scenario: Dict[str, Any], table: Table,
 
     seed_timing = time_callable(seed, repeats=repeats, warmup=1)
     serial_timing = time_callable(pipeline, repeats=repeats, warmup=1)
-    parallel_timing = time_callable(pipeline_parallel, repeats=repeats, warmup=1)
+
+    parallel_seconds: Optional[float] = None
+    parallel_speedup: Optional[float] = None
+    parallel_skipped: Optional[str] = None
+    if (os.cpu_count() or 1) == 1:
+        parallel_skipped = "cpu_count == 1: nothing can run in parallel"
+    elif effective_workers <= 1:
+        parallel_skipped = ("parallelism='auto' resolved to 1 worker "
+                            "(tiny table or single chunk)")
+    else:
+        parallel_timing = time_callable(pipeline_parallel, repeats=repeats,
+                                        warmup=1)
+        parallel_seconds = parallel_timing.best_seconds
+        parallel_speedup = (serial_timing.best_seconds
+                            / max(parallel_timing.best_seconds, 1e-12))
 
     stats = scan_table(table, predicates, **kwargs).stats
     return {
@@ -178,15 +202,16 @@ def measure_scenario(scenario: Dict[str, Any], table: Table,
         "description": scenario["description"],
         "num_predicates": len(predicates),
         "rows": table.row_count,
-        "chunks_per_column": table.column(predicates[0].column_name).num_chunks,
+        "chunks_per_column": num_chunks,
         "rows_selected": int(reference.size),
+        "parallelism_effective": effective_workers,
         "seed_s": seed_timing.best_seconds,
         "pipeline_s": serial_timing.best_seconds,
-        "pipeline_parallel4_s": parallel_timing.best_seconds,
+        "pipeline_parallel_s": parallel_seconds,
         "multi_predicate_speedup": seed_timing.best_seconds
         / max(serial_timing.best_seconds, 1e-12),
-        "parallel_speedup": serial_timing.best_seconds
-        / max(parallel_timing.best_seconds, 1e-12),
+        "parallel_speedup": parallel_speedup,
+        "parallel_skipped": parallel_skipped,
         "chunks_total": stats.chunks_total,
         "chunks_decompressed": stats.chunks_decompressed,
         "chunks_short_circuited": stats.chunks_short_circuited,
@@ -214,6 +239,14 @@ def run_benchmark(quick: bool = False,
     }
 
 
+def _format_parallel(row: Dict[str, Any]) -> str:
+    if row["parallel_skipped"] is not None:
+        return f"parallel skipped ({row['parallel_skipped']})"
+    return (f"parallel[{row['parallelism_effective']}] "
+            f"{row['pipeline_parallel_s'] * 1e3:8.2f} ms"
+            f"  parallel {row['parallel_speedup']:5.2f}x")
+
+
 def write_bench_json(path: str = "BENCH_scan_pipeline.json",
                      quick: bool = False) -> Dict[str, Any]:
     report = run_benchmark(quick=quick)
@@ -233,9 +266,8 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - CLI
     for row in report["rows"]:
         print(f"{row['scenario']:>16}  seed {row['seed_s'] * 1e3:8.2f} ms"
               f"  pipeline {row['pipeline_s'] * 1e3:8.2f} ms"
-              f"  parallel{PARALLELISM} {row['pipeline_parallel4_s'] * 1e3:8.2f} ms"
               f"  multi-pred {row['multi_predicate_speedup']:5.2f}x"
-              f"  parallel {row['parallel_speedup']:5.2f}x")
+              f"  {_format_parallel(row)}")
     print(f"wrote {args.out} (cpu_count={report['cpu_count']})")
     return 0
 

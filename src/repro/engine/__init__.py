@@ -38,8 +38,21 @@ from .operators import (
     hash_join,
     project,
 )
+from .parallel import (
+    ChunkCache,
+    ParallelExecutionError,
+    packed_source_path,
+    shutdown_pools,
+)
 from .query import JoinResult, Query, QueryResult, join_tables
-from .scan import ScanResult, gather_rows, scan_table
+from .scan import (
+    BACKENDS,
+    ScanResult,
+    describe_backend,
+    gather_rows,
+    resolve_parallelism,
+    scan_table,
+)
 
 __all__ = [
     "Predicate",
@@ -77,6 +90,13 @@ __all__ = [
     "ScanResult",
     "scan_table",
     "gather_rows",
+    "BACKENDS",
+    "describe_backend",
+    "resolve_parallelism",
+    "ChunkCache",
+    "ParallelExecutionError",
+    "packed_source_path",
+    "shutdown_pools",
     "ApproximateAnswer",
     "approximate_sum",
     "approximate_mean",

@@ -14,7 +14,7 @@ to keep the "decompression is query execution" point front and centre.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as _dataclass_fields
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -64,7 +64,23 @@ class ScanStats:
     #: hits the cache for every further chunk.
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Hot-chunk decompression-cache traffic (process workers keep a
+    #: byte-budgeted LRU of decompressed chunks across queries, see
+    #: :class:`repro.engine.parallel.ChunkCache`).  Zero unless a cache is
+    #: enabled; a cache hit serves a chunk without incrementing
+    #: ``chunks_decompressed`` because no decompression actually ran.
+    hot_cache_hits: int = 0
+    hot_cache_misses: int = 0
+    hot_cache_evictions: int = 0
     pushdown: PushdownStats = field(default_factory=PushdownStats)
+
+    #: Counters reflecting process-local warm state (compiled-plan and
+    #: hot-chunk cache traffic) rather than what the scan logically did.
+    #: They vary with execution history even between two serial runs, so
+    #: backend-equivalence checks compare :meth:`comparable` instead.
+    WARMTH_FIELDS = ("plan_cache_hits", "plan_cache_misses",
+                     "hot_cache_hits", "hot_cache_misses",
+                     "hot_cache_evictions")
 
     def merge_pushdown(self, stats: PushdownStats) -> None:
         self.pushdown.rows_total += stats.rows_total
@@ -90,7 +106,30 @@ class ScanStats:
         self.bytes_decompressed_saved += other.bytes_decompressed_saved
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
+        self.hot_cache_hits += other.hot_cache_hits
+        self.hot_cache_misses += other.hot_cache_misses
+        self.hot_cache_evictions += other.hot_cache_evictions
         self.merge_pushdown(other.pushdown)
+
+    def comparable(self) -> Dict[str, int]:
+        """The deterministic counters as a flat dict.
+
+        Every field is a plain counter sum, so :meth:`merge` is associative
+        and order-insensitive — merging permuted partials yields the same
+        totals (the scheduler still merges in chunk order so that *results*,
+        which are order-sensitive, stay deterministic).  Cache-warmth fields
+        (:data:`WARMTH_FIELDS`) are excluded: they measure how warm this
+        process's caches happened to be, which legitimately differs between
+        a serial run and a pool of workers with their own cache history.
+        """
+        flat = {
+            name: getattr(self, name)
+            for name in (f.name for f in _dataclass_fields(self))
+            if name != "pushdown" and name not in self.WARMTH_FIELDS
+        }
+        for name in (f.name for f in _dataclass_fields(self.pushdown)):
+            flat[f"pushdown.{name}"] = getattr(self.pushdown, name)
+        return flat
 
 
 @dataclass
@@ -227,17 +266,22 @@ def grouped_reduce(codes: np.ndarray, num_groups: int,
         counts = np.bincount(codes, minlength=num_groups)
         result = sums / np.maximum(counts, 1)
     else:
-        if data.dtype == np.bool_:
-            fill = how == "min"  # identity of AND for min, of OR for max
-        elif np.issubdtype(data.dtype, np.integer):
-            info = np.iinfo(data.dtype)
-            fill = info.max if how == "min" else info.min
-        else:
-            fill = np.inf if how == "min" else -np.inf
+        fill = minmax_identity(data.dtype, how)
         result = np.full(num_groups, fill, dtype=data.dtype)
         ufunc = np.minimum if how == "min" else np.maximum
         ufunc.at(result, codes, data)
     return Column(result, name=how)
+
+
+def minmax_identity(dtype: np.dtype, how: str):
+    """The identity element of per-group ``min``/``max`` for *dtype* (the
+    fill value a group that no row touches keeps)."""
+    if dtype == np.bool_:
+        return how == "min"  # identity of AND for min, of OR for max
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        return info.max if how == "min" else info.min
+    return np.inf if how == "min" else -np.inf
 
 
 def group_by_aggregate(keys: Column, values: Column, how: str = "sum"
@@ -329,7 +373,35 @@ def aggregate_stored(stored, positions: np.ndarray, how: str
         values, stats = gather_stored(stored, positions)
         return aggregate(Column(values), how), stats
 
+    total, stats = aggregate_stored_partial(stored, positions, how)
+    assert total is not None  # positions.size > 0 was checked above
+    return int(total) if how == "sum" else total.item(), stats
+
+
+def aggregate_stored_partial(stored, positions: np.ndarray, how: str
+                             ) -> Tuple[Optional[Any], ScanStats]:
+    """The raw mergeable partial of a sum/min/max over *stored* at sorted
+    *positions* — a NumPy scalar (or ``None`` for an empty selection), not
+    yet finalised to a Python value.
+
+    This is the per-chunk combine loop of :func:`aggregate_stored`, exposed
+    so the process backend can compute one partial per chunk range and merge
+    them associatively (:class:`ScalarAggState`): integer sums wrap exactly
+    like chunked int64/uint64 accumulation (mod 2**64), min/max combine in
+    the value dtype.  Only ``sum`` over integer columns, ``min`` and ``max``
+    are partial-mergeable — float sums and ``mean`` depend on summation
+    order and must materialise in one pass.
+    """
+    from . import kernels
+
+    if how not in ("sum", "min", "max"):
+        raise QueryError(f"aggregate {how!r} has no mergeable partial state")
+    if how == "sum" and not np.issubdtype(stored.dtype, np.integer):
+        raise QueryError("float sums depend on summation order and have no "
+                         "mergeable partial state")
     stats = ScanStats()
+    if positions.size == 0:
+        return None, stats
     partials = []
     for chunk, local, __ in _iter_chunk_hits(stored, positions):
         if local.size == chunk.row_count:
@@ -355,11 +427,125 @@ def aggregate_stored(stored, positions: np.ndarray, how: str
         else:
             partials.append(values.max())
 
-    combine = {"sum": np.add, "min": np.minimum, "max": np.maximum}[how]
+    combine = _COMBINE_UFUNC[how]
     total = partials[0]
     for partial in partials[1:]:
         total = combine(total, partial)
-    return int(total) if how == "sum" else total.item(), stats
+    return total, stats
+
+
+# --------------------------------------------------------------------------- #
+# Mergeable aggregate states (partial-aggregate execution)
+# --------------------------------------------------------------------------- #
+
+_COMBINE_UFUNC = {"sum": np.add, "min": np.minimum, "max": np.maximum}
+
+
+@dataclass
+class ScalarAggState:
+    """A mergeable partial of one scalar aggregate.
+
+    Worker processes compute one state per chunk range; the coordinator
+    merges them (associative and order-insensitive for every supported op:
+    integer sums are exact mod 2**64, min/max are lattice joins, count is a
+    plain sum) and finalises once.  ``partial is None`` means the range
+    selected no rows; :meth:`finalize` raises the same
+    :class:`~repro.errors.QueryError` the serial path raises for an
+    all-empty selection.
+    """
+
+    op: str
+    rows: int = 0
+    partial: Optional[Any] = None  # a NumPy scalar, or None when no rows yet
+
+    def merge(self, other: "ScalarAggState") -> None:
+        if self.op != other.op:
+            raise QueryError(f"cannot merge {other.op!r} state into "
+                             f"{self.op!r} state")
+        self.rows += other.rows
+        if other.partial is not None:
+            if self.partial is None:
+                self.partial = other.partial
+            else:
+                self.partial = _COMBINE_UFUNC[self.op](self.partial,
+                                                       other.partial)
+
+    def finalize(self) -> Any:
+        """The finished aggregate value, matching :func:`aggregate_stored`."""
+        if self.op == "count":
+            return int(self.rows)
+        if self.partial is None:
+            raise QueryError(f"aggregate {self.op!r} over zero rows")
+        if self.op == "sum":
+            return int(self.partial)
+        return self.partial.item() if hasattr(self.partial, "item") \
+            else self.partial
+
+
+@dataclass
+class GroupedAggState:
+    """A mergeable partial of a single-key grouped aggregation.
+
+    *keys* holds the sorted distinct key values this partial saw;
+    *aggregates* maps output names to ``(op, per-group array)`` aligned with
+    *keys*.  Merging unions the key dictionaries (sorted, exactly like the
+    per-chunk dictionary merge in :func:`group_codes_stored`) and combines
+    the per-group arrays: sums/counts add (exact for the integer
+    accumulators the grouped kernels produce), min/max join against the
+    dtype identity fill — so the merged result is bit-identical to grouping
+    the whole selection at once, for every op this state supports.
+    """
+
+    keys: np.ndarray
+    rows: int
+    aggregates: Dict[str, Tuple[str, np.ndarray]]
+
+    def merge(self, other: "GroupedAggState") -> None:
+        if list(self.aggregates) != list(other.aggregates):
+            raise QueryError("cannot merge grouped states with different "
+                             "aggregate layouts")
+        merged = np.union1d(self.keys, other.keys)
+        remap_self = np.searchsorted(merged, self.keys)
+        remap_other = np.searchsorted(merged, other.keys)
+        combined: Dict[str, Tuple[str, np.ndarray]] = {}
+        for name, (op, mine) in self.aggregates.items():
+            theirs = other.aggregates[name][1]
+            if op in ("sum", "count"):
+                out = np.zeros(merged.size, dtype=mine.dtype)
+                out[remap_self] += mine
+                out[remap_other] += theirs
+            else:
+                ufunc = np.minimum if op == "min" else np.maximum
+                fill = minmax_identity(mine.dtype, op)
+                out = np.full(merged.size, fill, dtype=mine.dtype)
+                out[remap_self] = ufunc(out[remap_self], mine)
+                out[remap_other] = ufunc(out[remap_other], theirs)
+            combined[name] = (op, out)
+        self.keys = merged
+        self.rows += other.rows
+        self.aggregates = combined
+
+
+def merge_states(states: Sequence[Any]) -> Any:
+    """Fold a non-empty sequence of per-range states (scalar dicts or
+    grouped states, as produced by the process workers) into one."""
+    if not states:
+        raise QueryError("merge_states() needs at least one partial state")
+    first = states[0]
+    if isinstance(first, dict):  # {output name: ScalarAggState}
+        merged: Dict[str, ScalarAggState] = {
+            name: ScalarAggState(op=state.op, rows=state.rows,
+                                 partial=state.partial)
+            for name, state in first.items()}
+        for partial in states[1:]:
+            for name, state in partial.items():
+                merged[name].merge(state)
+        return merged
+    merged_grouped = GroupedAggState(keys=first.keys, rows=first.rows,
+                                     aggregates=dict(first.aggregates))
+    for partial in states[1:]:
+        merged_grouped.merge(partial)
+    return merged_grouped
 
 
 def group_codes_stored(stored, positions: np.ndarray

@@ -1,0 +1,610 @@
+"""Multiprocess scan execution over the packed v2 format.
+
+The thread backend in :mod:`repro.engine.scan` is GIL-bound for the short
+NumPy kernels a compressed scan runs per chunk, so adding cores made queries
+*slower* (``BENCH_scan_pipeline.json`` recorded ``parallel_speedup: 0.79``).
+This module adds the backend the ROADMAP calls for: a pool of long-lived
+worker **processes** that each ``mmap`` the same packed table file.
+
+Design
+------
+
+* **Zero data over the pipe.**  Workers open the packed file by path
+  (:func:`repro.io.reader.open_packed_table`), so the OS page cache shares
+  the bytes; only chunk-range descriptors and one pickled
+  :class:`ScanSpec` per query cross a queue.  Tables that are not backed by
+  a single packed file (in-memory ``Table.from_pydict`` tables) cannot be
+  shared this way — the caller falls back to the serial path and says so in
+  ``ScanResult.backend``.
+* **Work stealing.**  All workers pull ``(query_id, range_index, lo, hi)``
+  tasks from one shared queue, so a straggler chunk never idles the rest of
+  the pool; the coordinator reassembles results by ``range_index`` in
+  deterministic chunk order, which keeps results (and merged
+  :class:`~repro.engine.operators.ScanStats`, see
+  :meth:`~repro.engine.operators.ScanStats.comparable`) bit-identical to a
+  serial scan.
+* **Caches warm once per worker, not once per query.**  Each worker process
+  keeps its opened :class:`~repro.io.reader.PackedTableFile` (keyed by path
+  and invalidated on a size/mtime fingerprint change), its compiled-plan
+  caches (:mod:`repro.columnar.compile` is process-global), and one
+  byte-budgeted hot-chunk decompression LRU (:class:`ChunkCache`, enabled by
+  ``cache_bytes > 0``) across queries.
+* **Partial aggregates.**  For partial-mergeable aggregate plans the
+  workers ship :class:`~repro.engine.operators.ScalarAggState` /
+  :class:`~repro.engine.operators.GroupedAggState` per range instead of
+  positions, and the coordinator folds them with
+  :func:`~repro.engine.operators.merge_states`.
+* **Failure is loud.**  A worker-side exception travels back as a traceback
+  and raises :class:`ParallelExecutionError` (the pool survives); a worker
+  *dying* mid-scan is detected by a liveness check on the result-queue poll,
+  the pool is torn down, and the same error is raised instead of hanging.
+  An unpicklable plan raises :class:`PlanNotPicklableError`, which the scan
+  scheduler turns into a serial fallback with a note.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import threading
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+from ..storage.table import Table
+from .operators import (
+    GroupedAggState,
+    ScalarAggState,
+    ScanStats,
+    gather_stored,
+    group_codes_stored,
+    grouped_reduce,
+    aggregate_stored_partial,
+    merge_states,
+)
+
+__all__ = [
+    "ChunkCache",
+    "ParallelExecutionError",
+    "PlanNotPicklableError",
+    "ProcessBackendUnavailable",
+    "ScanSpec",
+    "get_pool",
+    "packed_source_path",
+    "run_process_aggregate",
+    "run_process_scan",
+    "shutdown_pools",
+]
+
+
+class ProcessBackendUnavailable(Exception):
+    """The process backend cannot run this scan; fall back to serial.
+
+    Internal control flow: :func:`repro.engine.scan.scan_table` catches this
+    and records the reason in ``ScanResult.backend`` — it never reaches the
+    user as an error.
+    """
+
+
+class PlanNotPicklableError(ProcessBackendUnavailable):
+    """The predicate/plan spec cannot cross a process boundary."""
+
+
+class ParallelExecutionError(QueryError):
+    """A worker process failed (or died) while executing a scan."""
+
+
+# --------------------------------------------------------------------------- #
+# Packed-source detection
+# --------------------------------------------------------------------------- #
+
+def packed_source_path(table: Table) -> Optional[str]:
+    """The packed file every chunk of *table* is backed by, or ``None``.
+
+    The process backend requires all chunks' constituents to be mmap-lazy
+    (:class:`~repro.io.reader.LazyConstituents`) over one shared
+    :class:`~repro.io.reader.SegmentSource` — exactly what
+    :meth:`PackedTableFile.table` builds — so workers can reopen the same
+    bytes by path instead of pickling column data.
+    """
+    from ..io.reader import LazyConstituents
+
+    source = None
+    for name in table.column_names:
+        for chunk in table.column(name).chunks:
+            constituents = chunk.form.columns
+            if not isinstance(constituents, LazyConstituents):
+                return None
+            if source is None:
+                source = constituents._source
+            elif constituents._source is not source:
+                return None
+    return None if source is None else str(source.path)
+
+
+def _fingerprint(path: str) -> Tuple[int, int]:
+    stat = os.stat(path)
+    return (stat.st_size, stat.st_mtime_ns)
+
+
+# --------------------------------------------------------------------------- #
+# The serialized query spec
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ScanSpec:
+    """Everything a worker needs to evaluate one query's chunk ranges.
+
+    This (pickled once per query, broadcast to every worker) plus the table
+    path is the *entire* coordinator→worker payload — no column data, no
+    chunk bytes.  *aggregates*, when set, is the compressed-aggregate spec
+    ``{"key": name | None, "aggregates": [(output, op, column | None)]}``
+    from :func:`repro.api.lower.compressed_aggregate_plan`; workers then
+    return partial aggregate states instead of positions.
+    """
+
+    predicates: Tuple[Any, ...]
+    row_filters: Tuple[Any, ...] = ()
+    derive: Tuple[Tuple[str, Any], ...] = ()
+    materialize: Tuple[str, ...] = ()
+    use_pushdown: bool = True
+    use_zone_maps: bool = True
+    use_compressed_exec: bool = True
+    cache_bytes: int = 0
+    aggregates: Optional[Dict[str, Any]] = None
+
+
+# --------------------------------------------------------------------------- #
+# Hot-chunk decompression cache (per worker)
+# --------------------------------------------------------------------------- #
+
+class ChunkCache:
+    """A byte-budgeted LRU of decompressed chunk columns.
+
+    One instance lives in each worker process and spans queries (that is the
+    point: repeated queries over the same hot chunks skip re-decoding).
+    Keys are ``(scope, column name, chunk row offset)`` where *scope* is the
+    packed file path — see :class:`_ScopedCache`.  ``insert`` returns how
+    many entries were evicted to make room, which the scan scheduler
+    surfaces as ``ScanStats.hot_cache_evictions``.
+    """
+
+    def __init__(self, budget_bytes: int):
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_cached(self) -> int:
+        return self._bytes
+
+    def lookup(self, key: Tuple) -> Optional[Any]:
+        column = self._entries.get(key)
+        if column is not None:
+            self._entries.move_to_end(key)
+        return column
+
+    def insert(self, key: Tuple, column: Any) -> int:
+        """Cache *column* under *key*; returns the number of evictions."""
+        nbytes = int(column.values.nbytes)
+        if nbytes > self.budget_bytes or key in self._entries:
+            return 0
+        self._entries[key] = column
+        self._bytes += nbytes
+        return self._evict_to_budget()
+
+    def resize(self, budget_bytes: int) -> int:
+        self.budget_bytes = int(budget_bytes)
+        return self._evict_to_budget()
+
+    def _evict_to_budget(self) -> int:
+        evictions = 0
+        while self._bytes > self.budget_bytes and self._entries:
+            __, column = self._entries.popitem(last=False)
+            self._bytes -= int(column.values.nbytes)
+            evictions += 1
+        return evictions
+
+
+class _ScopedCache:
+    """A :class:`ChunkCache` view whose keys are prefixed with one scope
+    (the packed file path), so one worker-wide cache serves many tables
+    without key collisions."""
+
+    __slots__ = ("_cache", "_scope")
+
+    def __init__(self, cache: ChunkCache, scope: str):
+        self._cache = cache
+        self._scope = scope
+
+    def lookup(self, key: Tuple) -> Optional[Any]:
+        return self._cache.lookup((self._scope,) + key)
+
+    def insert(self, key: Tuple, column: Any) -> int:
+        return self._cache.insert((self._scope,) + key, column)
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class _Prepared:
+    """One query's per-worker execution state (built from a spec message)."""
+
+    table: Table
+    spec: ScanSpec
+    starts: Dict[str, np.ndarray]
+    cache: Optional[_ScopedCache]
+
+
+#: Worker-process globals: opened packed tables (path -> (fingerprint,
+#: PackedTableFile, Table)) and the worker-wide hot-chunk cache.  These are
+#: what "caches warm once per worker" means — they outlive queries.
+_WORKER_TABLES: Dict[str, Tuple[Tuple[int, int], Any, Table]] = {}
+_WORKER_CACHE: Optional[ChunkCache] = None
+
+
+def _prepare(path: str, fingerprint: Tuple[int, int], blob: bytes) -> _Prepared:
+    global _WORKER_CACHE
+    from ..io.reader import open_packed_table
+    from .scan import _scan_starts
+
+    spec: ScanSpec = pickle.loads(blob)
+    cached = _WORKER_TABLES.get(path)
+    if cached is None or cached[0] != fingerprint:
+        packed = open_packed_table(path)
+        cached = (fingerprint, packed, packed.table)
+        _WORKER_TABLES[path] = cached
+    table = cached[2]
+    starts = _scan_starts(table, spec.predicates, spec.row_filters,
+                          spec.materialize, spec.derive)
+    cache: Optional[_ScopedCache] = None
+    if spec.cache_bytes > 0:
+        if _WORKER_CACHE is None:
+            _WORKER_CACHE = ChunkCache(spec.cache_bytes)
+        elif _WORKER_CACHE.budget_bytes != spec.cache_bytes:
+            _WORKER_CACHE.resize(spec.cache_bytes)
+        cache = _ScopedCache(_WORKER_CACHE, path)
+    return _Prepared(table=table, spec=spec, starts=starts, cache=cache)
+
+
+def _partial_states(table: Table, positions: np.ndarray,
+                    agg_spec: Dict[str, Any], stats: ScanStats) -> Any:
+    """Mergeable aggregate states for one range's selection.
+
+    Mirrors :func:`repro.api.lower._exec_aggregate_compressed` branch for
+    branch — including the share-one-gather path for several aggregates over
+    one column — so the merged stats stay bit-identical to the serial
+    compressed-aggregate execution.
+    """
+    from ..columnar.column import Column
+
+    gathered_cache: Dict[str, Column] = {}
+
+    def gathered(column: str) -> Column:
+        values = gathered_cache.get(column)
+        if values is None:
+            raw, gather_stats = gather_stored(table.column(column), positions)
+            stats.merge(gather_stats)
+            values = gathered_cache[column] = Column(raw)
+        return values
+
+    rows = int(positions.size)
+    if agg_spec["key"] is None:
+        states: Dict[str, ScalarAggState] = {}
+        column_uses = [column for __, op, column in agg_spec["aggregates"]
+                       if op != "count"]
+        for output_name, op, column in agg_spec["aggregates"]:
+            if op == "count":
+                states[output_name] = ScalarAggState(op="count", rows=rows)
+            elif column_uses.count(column) > 1:
+                values = gathered(column).values
+                if values.size == 0:
+                    states[output_name] = ScalarAggState(op=op, rows=rows)
+                elif op == "sum":
+                    accumulator = np.uint64 if np.issubdtype(
+                        values.dtype, np.unsignedinteger) else np.int64
+                    states[output_name] = ScalarAggState(
+                        op=op, rows=rows,
+                        partial=values.sum(dtype=accumulator))
+                else:
+                    partial = values.min() if op == "min" else values.max()
+                    states[output_name] = ScalarAggState(op=op, rows=rows,
+                                                         partial=partial)
+            else:
+                partial, agg_stats = aggregate_stored_partial(
+                    table.column(column), positions, op)
+                stats.merge(agg_stats)
+                states[output_name] = ScalarAggState(op=op, rows=rows,
+                                                     partial=partial)
+        return states
+
+    grouped = group_codes_stored(table.column(agg_spec["key"]), positions)
+    if grouped is None:  # the plan checked capability; a chunk lied
+        raise QueryError(
+            f"column {agg_spec['key']!r} lost the group-codes capability "
+            "mid-scan; cannot build partial grouped state")
+    unique_keys, codes, group_stats = grouped
+    stats.merge(group_stats)
+    num_groups = int(unique_keys.size)
+    aggregates: Dict[str, Tuple[str, np.ndarray]] = {}
+    for output_name, op, column in agg_spec["aggregates"]:
+        values = None if op == "count" else gathered(column)
+        aggregates[output_name] = (
+            op, grouped_reduce(codes, num_groups, values, op).values)
+    return GroupedAggState(keys=unique_keys, rows=rows, aggregates=aggregates)
+
+
+def _execute_range(prepared: _Prepared, lo: int, hi: int) -> Tuple:
+    from ..columnar.compile import cache_info
+    from .scan import _scan_range
+
+    spec = prepared.spec
+    before = cache_info()
+    outcome = _scan_range(prepared.table, list(spec.predicates),
+                          prepared.starts, lo, hi,
+                          spec.use_pushdown, spec.use_zone_maps,
+                          list(spec.materialize),
+                          row_filters=list(spec.row_filters),
+                          derive=list(spec.derive),
+                          use_compressed_exec=spec.use_compressed_exec,
+                          chunk_cache=prepared.cache)
+    stats = outcome.stats
+    state = None
+    if spec.aggregates is not None:
+        state = _partial_states(prepared.table, outcome.positions,
+                                spec.aggregates, stats)
+    # This worker's own compile-cache delta for the range: per-worker caches
+    # warm once per worker, and the coordinator (whose caches never ran the
+    # plan) sums these instead of measuring its own, always-zero, delta.
+    after = cache_info()
+    stats.plan_cache_hits = (after["scheme_hits"] - before["scheme_hits"]
+                            + after["plan_hits"] - before["plan_hits"])
+    stats.plan_cache_misses = after["plan_misses"] - before["plan_misses"]
+    if spec.aggregates is not None:
+        return (stats, state, int(outcome.positions.size))
+    return (outcome.positions, stats, outcome.pieces)
+
+
+def _worker_main(spec_queue, task_queue, result_queue) -> None:
+    """The worker-process loop: pull tasks, execute, stream results back.
+
+    Specs are broadcast on a per-worker queue *before* their tasks are
+    enqueued, so a worker seeing an unknown ``query_id`` drains its spec
+    queue until the matching spec arrives.  Any per-task failure is caught
+    and shipped as a traceback — the worker itself stays alive.
+    """
+    prepared_by_query: Dict[int, _Prepared] = {}
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        query_id, index, lo, hi = task
+        try:
+            prepared = prepared_by_query.get(query_id)
+            while prepared is None:
+                qid, path, fingerprint, blob = spec_queue.get()
+                prepared_by_query[qid] = _prepare(path, fingerprint, blob)
+                prepared = prepared_by_query.get(query_id)
+            # Queries run one at a time, in id order: older specs are dead.
+            for stale in [qid for qid in prepared_by_query if qid < query_id]:
+                del prepared_by_query[stale]
+            payload = _execute_range(prepared, lo, hi)
+            result_queue.put(("ok", query_id, index, payload))
+        except BaseException:
+            result_queue.put(("error", query_id, index,
+                              traceback.format_exc()))
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator side
+# --------------------------------------------------------------------------- #
+
+def _mp_context():
+    # fork shares the imported interpreter state (cheap startup and
+    # pickling-by-reference for classes defined anywhere); fall back to
+    # spawn where fork does not exist.
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessPool:
+    """A pool of long-lived scan workers plus the coordination queues.
+
+    One pool per worker count, created lazily and kept for the life of the
+    process (:func:`get_pool`), so repeated queries pay process startup
+    once.  ``run`` holds a lock — the shared result queue serves one query
+    at a time; concurrent callers queue up behind it.
+    """
+
+    def __init__(self, workers: int):
+        context = _mp_context()
+        self.workers = workers
+        self._task_queue = context.Queue()
+        self._result_queue = context.Queue()
+        self._spec_queues = [context.Queue() for __ in range(workers)]
+        self._lock = threading.Lock()
+        self._query_ids = itertools.count()
+        self._closed = False
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(spec_queue, self._task_queue, self._result_queue),
+                daemon=True, name=f"repro-scan-worker-{index}")
+            for index, spec_queue in enumerate(self._spec_queues)
+        ]
+        for process in self._processes:
+            process.start()
+
+    def healthy(self) -> bool:
+        return not self._closed and all(p.is_alive() for p in self._processes)
+
+    def run(self, path: str, fingerprint: Tuple[int, int], spec_blob: bytes,
+            ranges: Sequence[Tuple[int, int]]) -> List[Tuple]:
+        """Execute one query's ranges; payloads come back in range order."""
+        with self._lock:
+            if self._closed:
+                raise ParallelExecutionError("process pool is shut down")
+            query_id = next(self._query_ids)
+            for spec_queue in self._spec_queues:
+                spec_queue.put((query_id, path, fingerprint, spec_blob))
+            for index, (lo, hi) in enumerate(ranges):
+                self._task_queue.put((query_id, index, lo, hi))
+            payloads: List[Optional[Tuple]] = [None] * len(ranges)
+            pending = len(ranges)
+            while pending:
+                try:
+                    message = self._result_queue.get(timeout=1.0)
+                except queue.Empty:
+                    dead = [p for p in self._processes if not p.is_alive()]
+                    if dead:
+                        self._abandon()
+                        raise ParallelExecutionError(
+                            f"scan worker {dead[0].name} (pid {dead[0].pid}) "
+                            f"died mid-scan with exit code "
+                            f"{dead[0].exitcode}; the process pool has been "
+                            "shut down and will be recreated on the next "
+                            "query") from None
+                    continue
+                kind, qid, index, payload = message
+                if qid != query_id:
+                    continue  # straggler from an abandoned earlier query
+                if kind == "error":
+                    raise ParallelExecutionError(
+                        f"scan worker failed on chunk range {index}:\n"
+                        f"{payload}")
+                payloads[index] = payload
+                pending -= 1
+            return payloads  # type: ignore[return-value]
+
+    def _abandon(self) -> None:
+        """Tear down after a dead worker: the queues may hold undelivered
+        state, so the whole pool is discarded."""
+        self._closed = True
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5)
+        self._release_queues()
+        with _POOLS_LOCK:
+            if _POOLS.get(self.workers) is self:
+                del _POOLS[self.workers]
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for __ in self._processes:
+            try:
+                self._task_queue.put_nowait(None)
+            except Exception:
+                break
+        for process in self._processes:
+            process.join(timeout=2)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2)
+        self._release_queues()
+
+    def _release_queues(self) -> None:
+        for q in [self._task_queue, self._result_queue, *self._spec_queues]:
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:
+                pass
+
+
+_POOLS: Dict[int, ProcessPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(workers: int) -> ProcessPool:
+    """The shared pool for *workers*, creating (or replacing a dead) one."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None or not pool.healthy():
+            pool = ProcessPool(workers)
+            _POOLS[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)
+
+
+# --------------------------------------------------------------------------- #
+# Entry points used by the scheduler and the lowering layer
+# --------------------------------------------------------------------------- #
+
+def _dispatch(table: Table, ranges: Sequence[Tuple[int, int]], workers: int,
+              spec: ScanSpec) -> List[Tuple]:
+    path = packed_source_path(table)
+    if path is None:
+        raise ProcessBackendUnavailable(
+            "process backend requested; table is not backed by a single "
+            "packed file")
+    try:
+        spec_blob = pickle.dumps(spec)
+    except Exception as error:
+        raise PlanNotPicklableError(
+            f"plan cannot cross a process boundary ({error})") from None
+    return get_pool(workers).run(path, _fingerprint(path), spec_blob, ranges)
+
+
+def run_process_scan(table: Table, ranges: Sequence[Tuple[int, int]],
+                     workers: int, spec: ScanSpec) -> List[Any]:
+    """Run a filter/materialize scan on the process pool.
+
+    Returns per-range outcomes in chunk order, shaped exactly like the
+    serial scheduler's ``_RangeOutcome`` list, so
+    :func:`~repro.engine.scan.scan_table` merges them identically.
+    """
+    from .scan import _RangeOutcome
+
+    payloads = _dispatch(table, ranges, workers, spec)
+    return [_RangeOutcome(positions=positions, stats=stats, pieces=pieces)
+            for positions, stats, pieces in payloads]
+
+
+def run_process_aggregate(table: Table, workers: int, spec: ScanSpec
+                          ) -> Tuple[Any, ScanStats, int]:
+    """Run a partial-mergeable aggregate on the process pool.
+
+    *spec.aggregates* must be set.  Returns ``(merged state, merged stats,
+    qualifying row count)``; states merge associatively in chunk order via
+    :func:`~repro.engine.operators.merge_states`.
+    """
+    from .scan import _grid_ranges, resolve_parallelism
+
+    ranges = _grid_ranges(table, spec.predicates, spec.row_filters)
+    workers = resolve_parallelism(workers, len(ranges), table.row_count)
+    payloads = _dispatch(table, ranges, workers, spec)
+    stats = ScanStats(
+        predicates_total=len(spec.predicates) + len(spec.row_filters))
+    for partial_stats, __, __ in payloads:
+        stats.merge(partial_stats)
+    state = merge_states([state for __, state, __ in payloads])
+    rows = sum(rows for __, __, rows in payloads)
+    return state, stats, rows

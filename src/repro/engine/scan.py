@@ -60,9 +60,12 @@ Two extension points serve the lazy query API (:mod:`repro.api`):
 
 from __future__ import annotations
 
+import atexit
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -74,7 +77,70 @@ from . import kernels
 from .operators import ScanStats, SelectionVector
 from .predicates import Between, Equals, Predicate, RangeBounds
 
-__all__ = ["ScanResult", "scan_table", "gather_rows"]
+__all__ = ["ScanResult", "scan_table", "gather_rows", "resolve_parallelism",
+           "describe_backend", "BACKENDS"]
+
+#: The pluggable execution backends a scan can run on: ``serial`` (one
+#: thread), ``thread`` (the historical ``ThreadPoolExecutor`` fan-out — GIL
+#: -bound for NumPy-light chunks, wins only when kernels release the GIL for
+#: long stretches), and ``process`` (a pool of long-lived worker processes
+#: that mmap the same packed file, see :mod:`repro.engine.parallel`).
+BACKENDS = ("serial", "thread", "process")
+
+#: Tables below this row count resolve ``parallelism="auto"`` to serial —
+#: fan-out overhead cannot pay for itself on data this small.
+MIN_PARALLEL_ROWS = 1 << 16
+
+
+# --------------------------------------------------------------------------- #
+# Shared thread pools (one per worker count, created lazily, kept for the
+# life of the process so the thread path stops paying pool startup per query)
+# --------------------------------------------------------------------------- #
+
+_THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_THREAD_POOLS_LOCK = threading.Lock()
+
+
+def _shared_thread_pool(workers: int) -> ThreadPoolExecutor:
+    with _THREAD_POOLS_LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"repro-scan-{workers}")
+            _THREAD_POOLS[workers] = pool
+        return pool
+
+
+def _shutdown_thread_pools() -> None:
+    with _THREAD_POOLS_LOCK:
+        pools = list(_THREAD_POOLS.values())
+        _THREAD_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False)
+
+
+atexit.register(_shutdown_thread_pools)
+
+
+def resolve_parallelism(parallelism: Union[int, str], num_ranges: int,
+                        row_count: Optional[int] = None) -> int:
+    """Resolve a parallelism request to an effective worker count.
+
+    ``"auto"`` means ``min(cpu_count, num_ranges)``, falling back to serial
+    for tiny tables (fewer than :data:`MIN_PARALLEL_ROWS` rows) — a
+    single-core machine or a single-chunk table resolves to 1.  An explicit
+    integer is honoured but never exceeds the number of chunk ranges (extra
+    workers would only idle).
+    """
+    if parallelism == "auto":
+        if row_count is not None and row_count < MIN_PARALLEL_ROWS:
+            return 1
+        return max(1, min(os.cpu_count() or 1, num_ranges))
+    workers = int(parallelism)
+    if workers < 1:
+        raise QueryError(f"parallelism must be >= 1 or 'auto', got {parallelism!r}")
+    return max(1, min(workers, num_ranges)) if num_ranges else 1
 
 
 @dataclass
@@ -96,6 +162,10 @@ class ScanResult:
     selection: SelectionVector
     stats: Optional[ScanStats]
     columns: Dict[str, Column] = field(default_factory=dict)
+    #: What actually executed: ``"serial"``, ``"thread[n]"``, ``"process[n]"``
+    #: — including any fallback note (e.g. a process scan over a table that
+    #: is not backed by one packed file runs serially and says why).
+    backend: str = "serial"
 
 
 @dataclass
@@ -147,14 +217,62 @@ def _overlapping_chunks(stored: StoredColumn, starts: np.ndarray,
 # The scheduler
 # --------------------------------------------------------------------------- #
 
+def _scan_starts(table: Table, predicates: Sequence[Predicate],
+                 row_filters: Sequence,
+                 materialize: Sequence[str],
+                 derive: Sequence[Tuple[str, object]]
+                 ) -> Dict[str, np.ndarray]:
+    """Chunk-start offsets for every column the conjunction touches.
+
+    Worker processes (:mod:`repro.engine.parallel`) rebuild this from the
+    same spec, so coordinator and workers bucket chunks identically.
+    """
+    derive_inputs = [name for __, spec in derive for name in spec.columns]
+    filter_inputs = [name for rf in row_filters for name in rf.columns]
+    return {
+        name: _chunk_starts(table.column(name))
+        for name in dict.fromkeys(
+            [p.column_name for p in predicates] + filter_inputs
+            + list(materialize) + derive_inputs)
+    }
+
+
+def _grid_ranges(table: Table, predicates: Sequence[Predicate],
+                 row_filters: Sequence) -> List[Tuple[int, int]]:
+    """The scheduling grid: the chunk ranges of the first conjunct's column.
+
+    (Tables built through :meth:`Table.from_columns` share one chunk size,
+    so in practice every conjunct sees exactly one chunk per range; the
+    scheduler still handles misaligned columns by slicing overlaps.)
+    """
+    if predicates:
+        grid_name = predicates[0].column_name
+    else:
+        grid_name = next((name for rf in row_filters for name in rf.columns),
+                         None)
+        if grid_name is None:  # only column-free (constant) row filters
+            grid_name = table.column_names[0]
+    grid_column = table.column(grid_name)
+    return [(chunk.row_offset, chunk.row_offset + chunk.row_count)
+            for chunk in grid_column.iter_chunks()]
+
+
 def _scan_range(table: Table, predicates: Sequence[Predicate],
                 starts_by_column: Dict[str, np.ndarray],
                 lo: int, hi: int, use_pushdown: bool, use_zone_maps: bool,
                 materialize: Sequence[str],
                 row_filters: Sequence = (),
                 derive: Sequence[Tuple[str, object]] = (),
-                use_compressed_exec: bool = True) -> _RangeOutcome:
-    """Evaluate the whole conjunction (and gather columns) over ``[lo, hi)``."""
+                use_compressed_exec: bool = True,
+                chunk_cache=None) -> _RangeOutcome:
+    """Evaluate the whole conjunction (and gather columns) over ``[lo, hi)``.
+
+    *chunk_cache*, when given, is a hot-chunk decompression cache (see
+    :class:`repro.engine.parallel.ChunkCache`) consulted before scheduling a
+    decompression; hits serve the cached column without decoding (the cache
+    traffic lands in the ``hot_cache_*`` stats, and ``chunks_decompressed``
+    counts hits too so it stays warm/cold-comparable).
+    """
     stats = ScanStats()
     span = hi - lo
     mask: Optional[np.ndarray] = None  # None == every row still alive
@@ -172,8 +290,21 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
         key = (name, chunk.row_offset)
         values = values_cache.get(key)
         if values is None:
+            if chunk_cache is not None:
+                values = chunk_cache.lookup(key)
+            # chunks_decompressed counts chunks whose decompressed values
+            # this scan needed — hit or miss — so it stays comparable()
+            # between cold and warm caches; hot_cache_misses is the number
+            # of actual decodes.
             stats.chunks_decompressed += 1
-            values = chunk.decompress()
+            if values is not None:
+                stats.hot_cache_hits += 1
+            else:
+                if chunk_cache is not None:
+                    stats.hot_cache_misses += 1
+                values = chunk.decompress()
+                if chunk_cache is not None:
+                    stats.hot_cache_evictions += chunk_cache.insert(key, values)
             values_cache[key] = values
         return values
 
@@ -345,13 +476,54 @@ def _scan_range(table: Table, predicates: Sequence[Predicate],
     return _RangeOutcome(positions=positions, stats=stats, pieces=pieces)
 
 
+def _resolve_backend_kind(backend: Optional[str], workers: int
+                          ) -> str:
+    """The execution kind for a resolved worker count: ``backend=None``
+    keeps the historical contract (``parallelism > 1`` means threads), an
+    explicit backend degrades to serial when only one worker is useful."""
+    if backend is None or backend == "auto":
+        return "thread" if workers > 1 else "serial"
+    if backend not in BACKENDS:
+        raise QueryError(f"unknown execution backend {backend!r}; "
+                         f"known: {BACKENDS}")
+    if workers <= 1:
+        return "serial"
+    return backend
+
+
+def describe_backend(table: Table, backend: Optional[str],
+                     parallelism: Union[int, str]) -> str:
+    """A human-readable account of the backend a scan over *table* will
+    choose — used by ``explain()`` so the report cannot drift from the
+    executor's decision."""
+    grid_chunks = table.column(table.column_names[0]).num_chunks
+    workers = resolve_parallelism(parallelism, grid_chunks, table.row_count)
+    kind = _resolve_backend_kind(backend, workers)
+    if kind == "process":
+        from .parallel import packed_source_path
+
+        if packed_source_path(table) is None:
+            return (f"serial (process[{parallelism}] requested; table is not "
+                    "backed by a single packed file)")
+    if kind != "serial":
+        return f"{kind}[{workers}]"
+    asked_parallel = parallelism == "auto" or (
+        isinstance(parallelism, int) and parallelism > 1)
+    if backend in ("thread", "process") or (backend != "serial" and asked_parallel):
+        requested = backend if backend not in (None, "auto") else "thread"
+        return f"serial ({requested}[{parallelism}] resolved to 1 worker)"
+    return "serial"
+
+
 def scan_table(table: Table, predicates: Sequence[Predicate],
                use_pushdown: bool = True, use_zone_maps: bool = True,
-               parallelism: int = 1,
+               parallelism: Union[int, str] = 1,
                materialize: Optional[Sequence[str]] = None,
                row_filters: Optional[Sequence] = None,
                derive: Optional[Sequence[Tuple[str, object]]] = None,
-               use_compressed_exec: bool = True
+               use_compressed_exec: bool = True,
+               backend: Optional[str] = None,
+               cache_bytes: int = 0
                ) -> ScanResult:
     """Run the chunk-at-a-time scan pipeline over *table*.
 
@@ -404,26 +576,13 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                 columns[out_name] = Column(value, name=out_name)
         return ScanResult(selection=selection, stats=None, columns=columns)
 
-    starts_by_column = {
-        name: _chunk_starts(table.column(name))
-        for name in dict.fromkeys(
-            [p.column_name for p in predicates] + filter_inputs
-            + materialize + derive_inputs)
-    }
-    #: The scheduling grid: the chunk ranges of the first conjunct's column.
-    #: (Tables built through :meth:`Table.from_columns` share one chunk size,
-    #: so in practice every conjunct sees exactly one chunk per range; the
-    #: scheduler still handles misaligned columns by slicing overlaps.)
-    if predicates:
-        grid_name = predicates[0].column_name
-    else:
-        grid_name = next((name for rf in row_filters for name in rf.columns),
-                         None)
-        if grid_name is None:  # only column-free (constant) row filters
-            grid_name = table.column_names[0]
-    grid_column = table.column(grid_name)
-    ranges = [(chunk.row_offset, chunk.row_offset + chunk.row_count)
-              for chunk in grid_column.iter_chunks()]
+    starts_by_column = _scan_starts(table, predicates, row_filters,
+                                    materialize, derive)
+    ranges = _grid_ranges(table, predicates, row_filters)
+
+    workers = resolve_parallelism(parallelism, len(ranges), table.row_count)
+    kind = _resolve_backend_kind(backend, workers)
+    backend_note: Optional[str] = None
 
     cache_before = cache_info()
 
@@ -433,19 +592,41 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                            materialize, row_filters=row_filters, derive=derive,
                            use_compressed_exec=use_compressed_exec)
 
-    if parallelism > 1 and len(ranges) > 1:
-        with ThreadPoolExecutor(max_workers=parallelism) as pool:
-            outcomes = list(pool.map(run_range, ranges))
-    else:
-        outcomes = [run_range(bounds) for bounds in ranges]
+    outcomes: Optional[List[_RangeOutcome]] = None
+    if kind == "process":
+        from . import parallel
+
+        spec = parallel.ScanSpec(
+            predicates=tuple(predicates), row_filters=tuple(row_filters),
+            derive=tuple(derive), materialize=tuple(materialize),
+            use_pushdown=use_pushdown, use_zone_maps=use_zone_maps,
+            use_compressed_exec=use_compressed_exec, cache_bytes=cache_bytes)
+        try:
+            outcomes = parallel.run_process_scan(table, ranges, workers, spec)
+        except parallel.ProcessBackendUnavailable as unavailable:
+            kind, backend_note = "serial", str(unavailable)
+    if outcomes is None:
+        # resolve_parallelism clamps workers to len(ranges), so a "thread"
+        # kind here always has more than one range to fan out.
+        if kind == "thread":
+            outcomes = list(_shared_thread_pool(workers).map(run_range, ranges))
+        else:
+            outcomes = [run_range(bounds) for bounds in ranges]
 
     stats = ScanStats(predicates_total=len(predicates) + len(row_filters))
     for outcome in outcomes:
         stats.merge(outcome.stats)
-    cache_after = cache_info()
-    stats.plan_cache_hits = (cache_after["scheme_hits"] - cache_before["scheme_hits"]
-                             + cache_after["plan_hits"] - cache_before["plan_hits"])
-    stats.plan_cache_misses = cache_after["plan_misses"] - cache_before["plan_misses"]
+    if kind != "process":
+        # Process workers measure their own compile-cache deltas; the
+        # coordinator's cache never warmed, so its delta would report 0.
+        cache_after = cache_info()
+        stats.plan_cache_hits = (cache_after["scheme_hits"] - cache_before["scheme_hits"]
+                                 + cache_after["plan_hits"] - cache_before["plan_hits"])
+        stats.plan_cache_misses = cache_after["plan_misses"] - cache_before["plan_misses"]
+
+    backend_name = (f"{kind}[{workers}]" if kind != "serial"
+                    else "serial" if backend_note is None
+                    else f"serial ({backend_note})")
 
     # A stored column always has at least one chunk, so outcomes is non-empty.
     positions = np.concatenate([o.positions for o in outcomes])
@@ -455,4 +636,5 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                      name=name)
         for name in output_names
     }
-    return ScanResult(selection=selection, stats=stats, columns=columns)
+    return ScanResult(selection=selection, stats=stats, columns=columns,
+                      backend=backend_name)

@@ -1,0 +1,391 @@
+"""Unit tests for the multiprocess scan backend (:mod:`repro.engine.parallel`).
+
+Covers backend dispatch and fallback notes, bit-identity of the process
+backend against serial (filters, materialisation, scalar and grouped
+aggregates), the hot-chunk LRU and its stats, partial-aggregate-state
+merging (associativity / order-insensitivity over permuted partials),
+worker-side exceptions, and worker death mid-scan.
+"""
+
+import itertools
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import col, dataset
+from repro.columnar import Column
+from repro.engine import parallel
+from repro.engine.operators import (
+    GroupedAggState,
+    ScalarAggState,
+    ScanStats,
+    merge_states,
+)
+from repro.engine.parallel import (
+    ChunkCache,
+    ParallelExecutionError,
+    PlanNotPicklableError,
+    ProcessBackendUnavailable,
+    ScanSpec,
+    packed_source_path,
+)
+from repro.engine.predicates import Between, Predicate
+from repro.engine.scan import describe_backend, resolve_parallelism, scan_table
+from repro.errors import QueryError
+from repro.io.reader import open_packed_table
+from repro.io.writer import write_packed_table
+from repro.schemes import (
+    DictionaryEncoding,
+    FrameOfReference,
+    NullSuppression,
+    RunLengthEncoding,
+)
+from repro.storage import Table
+
+NUM_ROWS = 20_000
+CHUNK_SIZE = 1_024
+
+
+def _build_table():
+    rng = np.random.default_rng(7)
+    data = {
+        "date": np.sort(rng.integers(0, 500, NUM_ROWS)).astype(np.int64),
+        "price": (np.cumsum(rng.integers(-3, 4, NUM_ROWS)) + 5_000).astype(np.int64),
+        "qty": rng.integers(0, 1 << 9, NUM_ROWS).astype(np.int64),
+        "cat": rng.integers(0, 12, NUM_ROWS).astype(np.int64),
+    }
+    return data, Table.from_pydict(
+        data,
+        schemes={
+            "date": RunLengthEncoding(),
+            "price": FrameOfReference(segment_length=128),
+            "qty": NullSuppression(),
+            "cat": DictionaryEncoding(),
+        },
+        chunk_size=CHUNK_SIZE,
+    )
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory):
+    data, table = _build_table()
+    path = tmp_path_factory.mktemp("parallel") / "table.rpk"
+    write_packed_table(table, path)
+    yield data, open_packed_table(path).table
+    parallel.shutdown_pools()
+
+
+PREDICATES = [Between("date", 50, 300), Between("qty", 16, 400)]
+
+
+class TestBackendDispatch:
+    def test_process_scan_is_bit_identical_to_serial(self, packed):
+        __, table = packed
+        serial = scan_table(table, PREDICATES, materialize=["price"])
+        proc = scan_table(table, PREDICATES, materialize=["price"],
+                          backend="process", parallelism=4)
+        assert proc.backend == "process[4]"
+        assert np.array_equal(serial.selection.positions.values,
+                              proc.selection.positions.values)
+        assert np.array_equal(serial.columns["price"].values,
+                              proc.columns["price"].values)
+        assert serial.stats.comparable() == proc.stats.comparable()
+
+    def test_empty_selection(self, packed):
+        __, table = packed
+        impossible = [Between("date", 10_000, 20_000)]
+        proc = scan_table(table, impossible, backend="process", parallelism=2,
+                          use_zone_maps=False)
+        assert proc.selection.positions.values.size == 0
+        assert proc.backend == "process[2]"
+
+    def test_in_memory_table_falls_back_to_serial_with_note(self):
+        __, table = _build_table()
+        assert packed_source_path(table) is None
+        result = scan_table(table, PREDICATES, backend="process",
+                            parallelism=4)
+        assert result.backend.startswith("serial (")
+        assert "packed" in result.backend
+
+    def test_single_worker_request_degrades_to_serial(self, packed):
+        __, table = packed
+        result = scan_table(table, PREDICATES, backend="process",
+                            parallelism=1)
+        assert result.backend == "serial"
+
+    def test_packed_source_path_detects_the_file(self, packed):
+        __, table = packed
+        path = packed_source_path(table)
+        assert path is not None and path.endswith("table.rpk")
+
+    def test_resolve_parallelism_auto(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_parallelism("auto", 64, 1 << 20) == min(cpus, 64)
+        assert resolve_parallelism("auto", 2, 1 << 20) <= 2
+        # tiny tables resolve to serial regardless of chunk count
+        assert resolve_parallelism("auto", 64, 100) == 1
+        assert resolve_parallelism(3, 64, 1 << 20) == 3
+
+    def test_describe_backend_names_the_choice(self, packed):
+        __, table = packed
+        assert describe_backend(table, "process", 4) == "process[4]"
+        assert describe_backend(table, None, 1) == "serial"
+        __, memory_table = _build_table()
+        described = describe_backend(memory_table, "process", 4)
+        assert described.startswith("serial (")
+
+
+class TestProcessAggregates:
+    def test_scalar_aggregates_match_serial(self, packed):
+        __, table = packed
+        base = dataset(table).filter(col("qty").between(16, 400))
+        serial = base.agg(col("price").sum().alias("s"),
+                          col("price").min().alias("lo"),
+                          col("price").max().alias("hi"),
+                          col("qty").count().alias("n")).collect()
+        proc = (base.with_backend("process", workers=4)
+                .agg(col("price").sum().alias("s"),
+                     col("price").min().alias("lo"),
+                     col("price").max().alias("hi"),
+                     col("qty").count().alias("n")).collect())
+        for name in ("s", "lo", "hi", "n"):
+            assert serial.scalars[name] == proc.scalars[name]
+
+    def test_grouped_aggregates_match_serial(self, packed):
+        __, table = packed
+        base = (dataset(table).filter(col("qty").between(16, 400))
+                .group_by("cat")
+                .agg(col("price").sum().alias("rev"),
+                     col("qty").count().alias("n")))
+        serial = base.collect()
+        proc = base.with_backend("process", workers=4).collect()
+        for name in serial.columns:
+            assert np.array_equal(serial.columns[name].values,
+                                  proc.columns[name].values)
+
+    def test_float_sum_is_not_routed_to_partial_merge(self, packed):
+        # float sums are order-sensitive, so they must go through the
+        # serial-identical compressed path even under the process backend;
+        # either way the answers agree because the fallback IS serial order.
+        __, table = packed
+        base = dataset(table).filter(col("qty").between(16, 400))
+        serial = base.agg(col("price").mean().alias("m")).collect()
+        proc = (base.with_backend("process", workers=4)
+                .agg(col("price").mean().alias("m")).collect())
+        assert serial.scalars["m"] == proc.scalars["m"]
+
+
+class TestHotChunkCache:
+    def test_cache_hits_on_second_run(self, packed):
+        __, table = packed
+        budget = 64 << 20
+        # pushdown off so every chunk genuinely decompresses through the cache
+        kwargs = dict(backend="process", parallelism=2, cache_bytes=budget,
+                      use_pushdown=False, use_zone_maps=False,
+                      use_compressed_exec=False)
+        cold = scan_table(table, PREDICATES, **kwargs)
+        warm = scan_table(table, PREDICATES, **kwargs)
+        assert cold.stats.hot_cache_hits == 0
+        assert cold.stats.hot_cache_misses > 0
+        # work stealing may redistribute ranges between runs, so not every
+        # lookup hits — but a per-worker cache must produce *some* hits
+        assert warm.stats.hot_cache_hits > 0
+        # warmth counters never leak into comparability
+        assert cold.stats.comparable() == warm.stats.comparable()
+
+    def test_chunk_cache_lru_eviction(self):
+        cache = ChunkCache(budget_bytes=3 * 8 * 10)  # room for 3 columns
+        columns = [Column(np.arange(10, dtype=np.int64)) for __ in range(4)]
+        for i in range(3):
+            assert cache.insert(("t", "c", i), columns[i]) == 0
+        assert len(cache) == 3
+        cache.lookup(("t", "c", 0))  # refresh 0: now 1 is least-recent
+        assert cache.insert(("t", "c", 3), columns[3]) == 1
+        assert cache.lookup(("t", "c", 1)) is None
+        assert cache.lookup(("t", "c", 0)) is not None
+
+    def test_chunk_cache_rejects_oversized_values(self):
+        cache = ChunkCache(budget_bytes=8)
+        assert cache.insert(("t", "c", 0),
+                            Column(np.arange(100, dtype=np.int64))) == 0
+        assert len(cache) == 0
+
+    def test_chunk_cache_resize_evicts(self):
+        cache = ChunkCache(budget_bytes=8 * 100)
+        for i in range(5):
+            cache.insert(("t", "c", i), Column(np.arange(10, dtype=np.int64)))
+        assert cache.resize(8 * 15) == 4
+        assert len(cache) == 1
+
+
+class _ExplodingPredicate(Predicate):
+    """Raises on evaluate — must be picklable to reach the worker."""
+
+    def evaluate(self, values):
+        raise RuntimeError("exploded in worker")
+
+    def chunk_decision(self, statistics):
+        return None
+
+
+class _DyingPredicate(Predicate):
+    """Kills the worker process outright (no exception to ship back)."""
+
+    def evaluate(self, values):
+        os._exit(1)
+
+    def chunk_decision(self, statistics):
+        return None
+
+
+class TestFailureModes:
+    def test_worker_exception_raises_with_traceback(self, packed):
+        __, table = packed
+        with pytest.raises(ParallelExecutionError, match="exploded in worker"):
+            scan_table(table, [_ExplodingPredicate("price")],
+                       backend="process", parallelism=2,
+                       use_pushdown=False, use_zone_maps=False)
+        # the pool survives a worker-side exception: next query works
+        good = scan_table(table, PREDICATES, backend="process", parallelism=2)
+        assert good.backend == "process[2]"
+
+    def test_worker_death_raises_instead_of_hanging(self, packed):
+        __, table = packed
+        with pytest.raises(ParallelExecutionError):
+            scan_table(table, [_DyingPredicate("price")],
+                       backend="process", parallelism=2,
+                       use_pushdown=False, use_zone_maps=False)
+        # the dead pool was abandoned; a fresh one serves the next query
+        good = scan_table(table, PREDICATES, backend="process", parallelism=2)
+        assert good.backend == "process[2]"
+        serial = scan_table(table, PREDICATES)
+        assert np.array_equal(serial.selection.positions.values,
+                              good.selection.positions.values)
+
+    def test_unpicklable_spec_falls_back_to_serial(self, packed):
+        __, table = packed
+
+        class LocalPredicate(Between):  # local class: cannot be pickled
+            pass
+
+        result = scan_table(table, [LocalPredicate("price", 0, 10_000)],
+                            backend="process", parallelism=2)
+        assert result.backend.startswith("serial (")
+
+    def test_dispatch_rejects_in_memory_tables(self):
+        __, table = _build_table()
+        spec = ScanSpec(predicates=tuple(PREDICATES))
+        with pytest.raises(ProcessBackendUnavailable):
+            parallel.run_process_scan(table, ((0, table.row_count),), 2, spec)
+
+    def test_unpicklable_spec_error_type(self, packed):
+        __, table = packed
+
+        class Local(Between):
+            pass
+
+        spec = ScanSpec(predicates=(Local("price", 0, 1),))
+        with pytest.raises(PlanNotPicklableError):
+            parallel.run_process_scan(table, ((0, CHUNK_SIZE),), 2, spec)
+
+
+class TestStatePermutations:
+    """Satellite: partial-state merging must be associative and
+    order-insensitive — every permutation of the partials folds to the
+    same answer."""
+
+    def test_scan_stats_merge_is_order_insensitive(self):
+        partials = [
+            ScanStats(chunks_total=4, chunks_decompressed=2,
+                      chunks_skipped=1, rows_scanned=4_096,
+                      hot_cache_hits=3, hot_cache_misses=1),
+            ScanStats(chunks_total=4, chunks_short_circuited=2,
+                      rows_scanned=2_048, plan_cache_hits=5),
+            ScanStats(chunks_total=2, chunks_pushed_down=2,
+                      rows_scanned=2_048, hot_cache_evictions=2),
+        ]
+        merged_dicts = []
+        for permutation in itertools.permutations(partials):
+            total = ScanStats(predicates_total=2)
+            for part in permutation:
+                total.merge(part)
+            merged_dicts.append(vars(total).copy())
+        assert all(d == merged_dicts[0] for d in merged_dicts)
+        assert merged_dicts[0]["chunks_total"] == 10
+        assert merged_dicts[0]["rows_scanned"] == 8_192
+
+    def test_scalar_state_merge_permutations(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(-(1 << 30), 1 << 30, 300).astype(np.int64)
+        pieces = np.array_split(values, 5)
+        for op, expected in (("sum", int(values.sum())),
+                             ("min", int(values.min())),
+                             ("max", int(values.max())),
+                             ("count", values.size)):
+            states = [
+                {"x": ScalarAggState(op, rows=piece.size,
+                                     partial=None if op == "count" else
+                                     piece.sum() if op == "sum" else
+                                     piece.min() if op == "min" else piece.max())}
+                for piece in pieces
+            ]
+            for permutation in itertools.permutations(states):
+                merged = merge_states(list(permutation))
+                assert merged["x"].finalize() == expected
+
+    def test_grouped_state_merge_permutations(self):
+        keys_a = np.array([1, 3, 5], dtype=np.int64)
+        keys_b = np.array([2, 3], dtype=np.int64)
+        keys_c = np.array([5, 9], dtype=np.int64)
+        states = [
+            GroupedAggState(keys=keys_a, rows=6, aggregates={
+                "n": ("count", np.array([1, 2, 3], dtype=np.int64))}),
+            GroupedAggState(keys=keys_b, rows=3, aggregates={
+                "n": ("count", np.array([2, 1], dtype=np.int64))}),
+            GroupedAggState(keys=keys_c, rows=5, aggregates={
+                "n": ("count", np.array([4, 1], dtype=np.int64))}),
+        ]
+        for permutation in itertools.permutations(states):
+            merged = merge_states(list(permutation))
+            assert np.array_equal(merged.keys,
+                                  np.array([1, 2, 3, 5, 9], dtype=np.int64))
+            op, counts = merged.aggregates["n"]
+            assert op == "count"
+            assert np.array_equal(counts,
+                                  np.array([1, 2, 3, 7, 1], dtype=np.int64))
+            assert merged.rows == 14
+
+    def test_zero_row_scalar_state_raises_on_finalize(self):
+        with pytest.raises(QueryError):
+            ScalarAggState("min", rows=0, partial=None).finalize()
+        assert ScalarAggState("count", rows=0).finalize() == 0
+
+
+class TestApiSurface:
+    def test_with_backend_validates(self, packed):
+        __, table = packed
+        ds = dataset(table)
+        with pytest.raises(QueryError, match="unknown execution backend"):
+            ds.with_backend("gpu")
+        with pytest.raises(QueryError, match="parallelism"):
+            ds.with_backend("process", workers=0)
+        with pytest.raises(QueryError, match="cache_bytes"):
+            ds.with_backend("process", cache_bytes=-1)
+
+    def test_explain_shows_backend_decision(self, packed):
+        __, table = packed
+        plan = (dataset(table).filter(col("qty").between(16, 400))
+                .with_backend("process", workers=4).explain())
+        assert "backend=process[4]" in plan
+        __, memory_table = _build_table()
+        plan = (dataset(memory_table).filter(col("qty").between(16, 400))
+                .with_backend("process", workers=4).explain())
+        assert "backend=serial (" in plan
+
+    def test_spec_roundtrips_through_pickle(self):
+        spec = ScanSpec(predicates=tuple(PREDICATES), cache_bytes=1 << 20)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.cache_bytes == spec.cache_bytes
+        assert [p.column_name for p in clone.predicates] == ["date", "qty"]

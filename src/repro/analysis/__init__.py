@@ -1,0 +1,36 @@
+"""Static verification of the engine: ``repro.analysis``.
+
+Four analyses, none of which executes data:
+
+* :mod:`~repro.analysis.intervals` — abstract interpretation of plans
+  (dtype + value-interval inference, overflow/wrap/precision hazards,
+  translation validation for the plan optimizer);
+* :mod:`~repro.analysis.capabilities` — audit of every scheme's
+  ``kernel_capabilities`` claims against the engine's actual dispatch;
+* :mod:`~repro.analysis.forksafe` — structural fork-safety check for
+  objects about to cross the multiprocess scan pipe;
+* :mod:`~repro.analysis.lint` — AST-level engine-invariant lints over
+  ``src/repro``, with a seeded corpus of historically-bad plans
+  (:mod:`~repro.analysis.corpus`).
+
+Run everything with ``python -m repro.analysis``.
+
+Submodules are imported lazily: :mod:`~repro.analysis.forksafe` is imported
+by :mod:`repro.engine.parallel`, and an eager import of
+:mod:`~repro.analysis.capabilities` here would close an import cycle back
+into the engine.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_SUBMODULES = ("intervals", "capabilities", "forksafe", "lint", "corpus")
+
+__all__ = list(_SUBMODULES)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

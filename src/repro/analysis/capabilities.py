@@ -1,0 +1,232 @@
+"""Audit of ``kernel_capabilities`` claims against the engine's dispatch.
+
+A scheme that *overclaims* (advertises a kernel the engine cannot dispatch
+for its resolved form) silently loses pushdown at runtime: every kernel
+returns ``None`` and the scan falls back to decompression with no signal
+that a declared fast path never existed.  A scheme that *underclaims* hides
+a fast path the engine does implement.  Neither is an exception anywhere —
+which is exactly why this is an audit, not a test of behaviour.
+
+The audit is static: it resolves each form (peeling cascades the way
+:func:`repro.engine.translate.resolve_form` does at runtime), consults the
+engine's real dispatch tables (``_FILTERS`` / ``_GATHERS`` /
+``_AGGREGATORS`` in :mod:`repro.engine.kernels` — imported, not duplicated,
+so the audit can never drift from the engine), and compares the reachable
+kernel set against the scheme's declaration.  Form-dependent dispatch is
+honoured: an NS form with the zig-zag transform cannot translate range
+bounds into its stored domain, so ``filter_range`` is correctly unclaimed
+there and the audit knows it.
+
+:func:`audit_registry` runs the audit across every registered scheme (and a
+set of representative parameter variants and cascades);
+:func:`golden_claims` / :func:`check_against_golden` pin the exact current
+claims to ``capability_golden.json`` so an accidental claim change fails CI
+with a diff, not a silent behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..columnar.column import Column
+from ..schemes.base import (
+    KERNEL_AGGREGATE,
+    KERNEL_FILTER_RANGE,
+    KERNEL_GATHER,
+    KERNEL_GROUP_CODES,
+    CompressedForm,
+    CompressionScheme,
+)
+from ..schemes.registry import make_cascade, make_scheme
+from .intervals import Finding
+
+__all__ = [
+    "AuditEntry",
+    "audit_form",
+    "audit_registry",
+    "golden_claims",
+    "check_against_golden",
+    "GOLDEN_PATH",
+]
+
+GOLDEN_PATH = Path(__file__).with_name("capability_golden.json")
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One scheme-variant's declared vs dispatchable kernel sets."""
+
+    variant: str
+    declared: Tuple[str, ...]
+    dispatchable: Tuple[str, ...]
+    findings: Tuple[Finding, ...]
+
+
+def _dispatchable(scheme: CompressionScheme, form: CompressedForm) -> frozenset:
+    """The kernels the engine can actually dispatch for *form*, statically."""
+    from ..engine import kernels, translate
+
+    __, resolved = translate.resolve_form(scheme, form)
+    reachable = set()
+    if resolved.scheme in kernels._FILTERS:
+        # Form-dependent: range translation must exist for the stored domain
+        # (NS zig-zag stores magnitudes, which are not order-preserving).
+        if resolved.scheme == "NS":
+            from ..engine.predicates import RangeBounds
+
+            probe = translate.translate_range_to_stored(resolved, RangeBounds(0, 1))
+            if probe is not None:
+                reachable.add(KERNEL_FILTER_RANGE)
+        else:
+            reachable.add(KERNEL_FILTER_RANGE)
+    if resolved.scheme in kernels._GATHERS:
+        reachable.add(KERNEL_GATHER)
+    if resolved.scheme in kernels._AGGREGATORS:
+        reachable.add(KERNEL_AGGREGATE)
+    if resolved.scheme == "DICT":
+        reachable.add(KERNEL_GROUP_CODES)
+    return frozenset(reachable)
+
+
+def audit_form(scheme: CompressionScheme, form: CompressedForm,
+               variant: Optional[str] = None) -> AuditEntry:
+    """Compare *scheme*'s declared capabilities for *form* with the dispatch."""
+    name = variant or form.scheme
+    declared = frozenset(scheme.kernel_capabilities(form))
+    dispatchable = _dispatchable(scheme, form)
+    findings: List[Finding] = []
+    for kernel in sorted(declared - dispatchable):
+        findings.append(Finding(
+            "capability-overclaim", name,
+            f"declares {kernel!r} but the engine has no dispatch for it "
+            "(pushdown silently degrades to decompression)"))
+    for kernel in sorted(dispatchable - declared):
+        findings.append(Finding(
+            "capability-underclaim", name,
+            f"does not declare {kernel!r} although the engine can dispatch "
+            "it (a fast path is hidden)"))
+    return AuditEntry(variant=name,
+                      declared=tuple(sorted(declared)),
+                      dispatchable=tuple(sorted(dispatchable)),
+                      findings=tuple(findings))
+
+
+# --------------------------------------------------------------------------- #
+# Registry-wide sweep
+# --------------------------------------------------------------------------- #
+
+def _sample_column(kind: str = "runs") -> Column:
+    if kind == "runs":
+        values = np.repeat(np.arange(40, dtype=np.int64) * 7 + 3,
+                           np.arange(40) % 5 + 1)
+    elif kind == "sorted":
+        values = np.cumsum(np.arange(200, dtype=np.int64) % 9)
+    else:
+        values = (np.arange(200, dtype=np.int64) * 37) % 101
+    return Column(values)
+
+
+def _variants() -> Sequence[Tuple[str, Callable[[], Tuple[CompressionScheme, Column]]]]:
+    """Representative scheme x parameter shapes for the sweep."""
+
+    def plain(name: str, data_kind: str = "runs", **params):
+        return lambda: (make_scheme(name, **params), _sample_column(data_kind))
+
+    def ns_variant(transform: str):
+        # NS picks its signedness transform from the data: non-negative input
+        # stays "none"; signed input uses the configured handling.
+        def build():
+            if transform == "none":
+                return make_scheme("NS"), _sample_column("spread")
+            data = Column((np.arange(200, dtype=np.int64) * 3) % 41 - 20)
+            return make_scheme("NS", signed=transform), data
+        return build
+
+    def cascade(outer: str, constituent: str, inner: str):
+        return lambda: (make_cascade(outer, {constituent: inner}),
+                        _sample_column("runs"))
+
+    return (
+        ("ID", plain("ID")),
+        ("NS/none", ns_variant("none")),
+        ("NS/zigzag", ns_variant("zigzag")),
+        ("NS/bias", ns_variant("bias")),
+        ("DELTA", plain("DELTA", "sorted")),
+        ("RLE", plain("RLE")),
+        ("RPE", plain("RPE")),
+        ("FOR", plain("FOR", "sorted")),
+        ("STEPFUNCTION", plain("STEPFUNCTION", "sorted")),
+        ("DICT/packed", plain("DICT", "runs", codes_layout="packed")),
+        ("DICT/aligned", plain("DICT", "runs", codes_layout="aligned")),
+        ("PFOR", plain("PFOR", "sorted")),
+        ("VARWIDTH", plain("VARWIDTH", "spread")),
+        ("LINEAR", plain("LINEAR", "sorted")),
+        ("POLY", plain("POLY", "sorted")),
+        ("CASCADE/RLE∘NS", cascade("RLE", "values", "NS")),
+        ("CASCADE/RLE∘DELTA", cascade("RLE", "lengths", "DELTA")),
+        ("CASCADE/DICT∘NS", cascade("DICT", "codes", "NS")),
+    )
+
+
+def audit_registry() -> List[AuditEntry]:
+    """Run the capability audit over every registered scheme variant."""
+    entries: List[AuditEntry] = []
+    for variant, build in _variants():
+        scheme, data = build()
+        form = scheme.compress(data)
+        entries.append(audit_form(scheme, form, variant=variant))
+    return entries
+
+
+# --------------------------------------------------------------------------- #
+# Golden pinning
+# --------------------------------------------------------------------------- #
+
+def golden_claims(entries: Optional[Sequence[AuditEntry]] = None
+                  ) -> Dict[str, List[str]]:
+    """The exact declared claims per variant, as stored in the golden file."""
+    if entries is None:
+        entries = audit_registry()
+    return {entry.variant: list(entry.declared) for entry in entries}
+
+
+def check_against_golden(entries: Optional[Sequence[AuditEntry]] = None
+                         ) -> List[Finding]:
+    """Audit mismatches plus any drift from the pinned golden claims."""
+    if entries is None:
+        entries = audit_registry()
+    findings: List[Finding] = [f for entry in entries for f in entry.findings]
+    if not GOLDEN_PATH.exists():
+        findings.append(Finding(
+            "capability-golden", str(GOLDEN_PATH),
+            "golden claims file is missing; regenerate with "
+            "python -m repro.analysis --write-golden"))
+        return findings
+    pinned = json.loads(GOLDEN_PATH.read_text())
+    current = golden_claims(entries)
+    for variant in sorted(set(pinned) | set(current)):
+        if variant not in pinned:
+            findings.append(Finding("capability-golden", variant,
+                                    "variant is not pinned in the golden file"))
+        elif variant not in current:
+            findings.append(Finding("capability-golden", variant,
+                                    "pinned variant is no longer audited"))
+        elif pinned[variant] != current[variant]:
+            findings.append(Finding(
+                "capability-golden", variant,
+                f"claims changed: pinned {pinned[variant]} != "
+                f"current {current[variant]}"))
+    return findings
+
+
+def write_golden() -> Dict[str, List[str]]:
+    """Regenerate the golden claims file from the current registry."""
+    claims = golden_claims()
+    GOLDEN_PATH.write_text(json.dumps(claims, indent=2, ensure_ascii=False,
+                                      sort_keys=True) + "\n")
+    return claims

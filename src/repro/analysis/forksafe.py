@@ -1,0 +1,176 @@
+"""Static fork-safety check for objects crossing the multiprocess pipe.
+
+The process scan backend pickles one :class:`~repro.engine.parallel.ScanSpec`
+per query and broadcasts it to the worker pool.  The old guard was
+degrade-and-hope: try ``pickle.dumps`` and fall back to serial on any
+exception — which accepts values that *pickle* but fail (or silently share
+state) on the other side, and reports failures as an opaque exception string.
+
+This module instead walks the object graph *structurally* and names the
+first unsafe value it finds, e.g.::
+
+    ScanSpec.predicates[0].__class__ (locally-defined class
+    'test_x.<locals>.LocalPredicate' cannot be imported by a worker)
+
+Unsafe values are: callables and classes not importable by qualified name
+(lambdas, locals, instances of locally-defined classes), live OS resources
+(locks, threads, sockets, files, mmaps, generators), modules, and
+memoryviews.  Safe leaves are scalars, strings/bytes, dtypes, ndarrays and
+Columns; containers and plain objects recurse.  The check never imports
+worker-side modules and never serialises anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import sys
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["check_fork_safety"]
+
+# type(obj).__module__ values that mean a live OS / runtime resource.
+_UNSAFE_MODULES = frozenset((
+    "_thread", "threading", "mmap", "socket", "select", "ssl",
+    "multiprocessing", "multiprocessing.synchronize", "sqlite3",
+))
+
+_SAFE_SCALARS = (type(None), bool, int, float, complex, str, bytes, bytearray,
+                 np.generic, np.dtype)
+
+
+def _qualified_lookup(module_name: str, qualname: str) -> Any:
+    """Resolve *qualname* inside *module_name* the way pickle-by-reference does."""
+    module = sys.modules.get(module_name)
+    if module is None:
+        return None
+    obj: Any = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return None
+    return obj
+
+
+def _callable_problem(obj: Any) -> Optional[str]:
+    """Why a function/class cannot be re-imported by a worker, or ``None``."""
+    qualname = getattr(obj, "__qualname__", getattr(obj, "__name__", ""))
+    module = getattr(obj, "__module__", None)
+    if "<lambda>" in qualname:
+        return f"lambda defined in {module!r} cannot be pickled"
+    if "<locals>" in qualname:
+        return (f"locally-defined {'class' if isinstance(obj, type) else 'function'} "
+                f"{module}.{qualname!r} cannot be imported by a worker")
+    if module is None:
+        return f"callable {qualname!r} has no module to import it from"
+    if _qualified_lookup(module, qualname) is not obj:
+        return (f"{qualname!r} is not reachable as {module}.{qualname} "
+                "(pickle-by-reference would fail in the worker)")
+    return None
+
+
+def _resource_problem(obj: Any) -> Optional[str]:
+    kind = type(obj)
+    if kind.__module__ in _UNSAFE_MODULES:
+        return (f"{kind.__module__}.{kind.__name__} is a live OS/runtime "
+                "resource that cannot cross a process boundary")
+    if isinstance(obj, memoryview):
+        return "memoryview exposes shared memory that does not survive a fork"
+    import io
+
+    if isinstance(obj, io.IOBase):
+        return f"open file object {kind.__name__} cannot cross a process boundary"
+    if kind.__name__ in ("generator", "coroutine", "async_generator"):
+        return f"{kind.__name__} objects cannot be pickled"
+    return None
+
+
+def check_fork_safety(obj: Any, root: str = "value",
+                      _seen: Optional[set] = None) -> Optional[str]:
+    """Return a named path to the first fork-unsafe value in *obj*, or ``None``.
+
+    The path string is suitable for
+    ``ScanResult.backend = f"serial ({path})"`` reporting: it names where in
+    the object graph the offending value sits and why it is unsafe.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return None
+    if isinstance(obj, _SAFE_SCALARS):
+        return None
+    _seen.add(id(obj))
+
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            for index, item in enumerate(obj.flat):
+                problem = check_fork_safety(item, f"{root}[{index}]", _seen)
+                if problem is not None:
+                    return problem
+        return None
+
+    if isinstance(obj, type(sys)):  # a module
+        return f"{root}: module {obj.__name__!r} cannot cross a process boundary"
+
+    problem = _resource_problem(obj)
+    if problem is not None:
+        return f"{root}: {problem}"
+
+    # Routines and classes pickle by reference; callable *instances* fall
+    # through to the generic instance walk below.
+    if isinstance(obj, type) or inspect.isroutine(obj):
+        bound_self = getattr(obj, "__self__", None)
+        if bound_self is not None:
+            deeper = check_fork_safety(bound_self, f"{root}.__self__", _seen)
+            if deeper is not None:
+                return deeper
+            return None
+        why = _callable_problem(obj)
+        if why is not None:
+            return f"{root}: {why}"
+        return None
+
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            label = f"{root}[{key!r}]" if isinstance(key, (str, int)) else f"{root}[...]"
+            problem = (check_fork_safety(key, f"{root}.<key {key!r}>", _seen)
+                       or check_fork_safety(value, label, _seen))
+            if problem is not None:
+                return problem
+        return None
+
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for index, item in enumerate(obj):
+            problem = check_fork_safety(item, f"{root}[{index}]", _seen)
+            if problem is not None:
+                return problem
+        return None
+
+    # Instances: the class itself must be importable, then the state recurses.
+    why = _callable_problem(type(obj))
+    if why is not None:
+        return f"{root}.__class__ ({why})"
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for field_ in dataclasses.fields(obj):
+            problem = check_fork_safety(getattr(obj, field_.name, None),
+                                        f"{root}.{field_.name}", _seen)
+            if problem is not None:
+                return problem
+        return None
+
+    state = getattr(obj, "__dict__", None)
+    if state:
+        for name, value in state.items():
+            problem = check_fork_safety(value, f"{root}.{name}", _seen)
+            if problem is not None:
+                return problem
+    slots = getattr(type(obj), "__slots__", ())
+    for name in (slots if isinstance(slots, (tuple, list)) else (slots,)):
+        if name and hasattr(obj, name):
+            problem = check_fork_safety(getattr(obj, name), f"{root}.{name}", _seen)
+            if problem is not None:
+                return problem
+    return None

@@ -10,7 +10,7 @@ operators in their own right as well.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -108,6 +108,19 @@ def elementwise_unary(op: str, operand: Column, name: Optional[str] = None) -> C
             f"unknown unary operation {op!r}; known operations: {sorted(UNARY_OPERATIONS)}"
         )
     return Column(UNARY_OPERATIONS[op](operand.values), name=name or operand.name)
+
+
+@register_operator("Cast", 1, "cast a column to a target dtype", category="elementwise")
+def cast(col: Column, dtype: Any, name: Optional[str] = None) -> Column:
+    """``astype`` to *dtype* — the in-plan form of a scheme's restore-cast.
+
+    Cascade plans splice an inner scheme's decompression in front of the
+    outer plan; the restore-cast that ``decompress()`` normally applies
+    outside the plan must then happen *inside* it (e.g. packed DICT codes
+    must reach the outer ``UnpackBits`` as uint8).
+    """
+    return Column(col.values.astype(np.dtype(dtype), copy=False),
+                  name=name or col.name)
 
 
 @register_operator("Add", 2, "element-wise addition", category="elementwise")

@@ -128,7 +128,7 @@ def count_runs(col: Column) -> int:
     """Number of maximal runs in *col* (0 for an empty column)."""
     if len(col) == 0:
         return 0
-    return int(run_starts_mask(col).values.sum())
+    return int(run_starts_mask(col).values.sum(dtype=np.int64))
 
 
 def runs_of(col: Column) -> Tuple[Column, Column]:

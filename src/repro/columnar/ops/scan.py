@@ -89,7 +89,7 @@ def segmented_prefix_sum(col: Column, segment_ids: Column,
         return Column(np.empty(0, dtype=np.int64), name=name or col.name)
     if np.any(seg[1:] < seg[:-1]):
         raise OperatorError("SegmentedPrefixSum() requires non-decreasing segment ids")
-    total = np.cumsum(values)
+    total = np.cumsum(values, dtype=np.int64)
     # Subtract, from every element, the running total accumulated before its
     # segment started: find the index where each segment starts and propagate
     # the prefix total at that point.

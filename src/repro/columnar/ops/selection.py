@@ -103,4 +103,4 @@ def mask_not(mask: Column, name: Optional[str] = None) -> Column:
 def count_true(mask: Column, name: Optional[str] = None) -> Column:
     """Return a length-1 column holding the number of true elements of *mask*."""
     values = _require_mask(mask, "CountTrue")
-    return Column(np.asarray([int(values.sum())], dtype=np.int64), name=name)
+    return Column(np.asarray([int(values.sum(dtype=np.int64))], dtype=np.int64), name=name)

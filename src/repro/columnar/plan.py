@@ -150,6 +150,18 @@ class PlanStep:
         """All binding names this step reads (column inputs and param refs)."""
         return tuple(self.column_inputs.values()) + _param_references(self.params)
 
+    def output_dtype(self, input_dtypes: Mapping[str, Any]) -> Optional[np.dtype]:
+        """The dtype this step produces, inferred statically (no evaluation).
+
+        *input_dtypes* maps binding names to the dtypes of this step's column
+        inputs; returns ``None`` when the dtype cannot be determined without
+        data.  The rules live in :mod:`repro.columnar.plan_types` and are the
+        single source of truth shared with :mod:`repro.analysis.intervals`.
+        """
+        from . import plan_types
+
+        return plan_types.step_output_dtype(self, input_dtypes)
+
     def describe(self) -> str:
         """A compact, human-readable rendering of the step."""
         cols = ", ".join(f"{k}={v}" for k, v in self.column_inputs.items())
@@ -296,6 +308,22 @@ class Plan:
         if binding in self.inputs:
             return None
         raise PlanError(f"binding {binding!r} is not defined by this plan")
+
+    def binding_dtypes(self, input_dtypes: Mapping[str, Any]
+                       ) -> Dict[str, Optional[np.dtype]]:
+        """Statically inferred dtype of every binding (``None`` = unknown).
+
+        *input_dtypes* maps plan-input names to their dtypes; step outputs
+        are derived by the per-operator rules in
+        :mod:`repro.columnar.plan_types` without evaluating anything.
+        """
+        from . import plan_types
+
+        return plan_types.binding_dtypes(self, input_dtypes)
+
+    def output_dtype(self, input_dtypes: Mapping[str, Any]) -> Optional[np.dtype]:
+        """The statically inferred dtype of the plan output (``None`` = unknown)."""
+        return self.binding_dtypes(input_dtypes).get(self.output)
 
     def operator_counts(self) -> Dict[str, int]:
         """How many times each operator name appears in the plan."""

@@ -219,7 +219,7 @@ def aggregate(values: Column, how: str):
             return int(data.sum(dtype=np.uint64))
         if np.issubdtype(data.dtype, np.integer):
             return int(data.sum(dtype=np.int64))
-        return float(data.sum())
+        return float(data.sum())  # repro: ignore[RA001] — float64 sums accumulate in float64
     if how == "min":
         return data.min().item()
     if how == "max":
@@ -599,7 +599,7 @@ def group_codes_stored(stored, positions: np.ndarray
         # Dictionary entries (or other chunks' values) absent from the
         # selection must not surface as empty groups — np.unique would not
         # report them.
-        relabel = np.cumsum(present) - 1
+        relabel = np.cumsum(present, dtype=np.int64) - 1
         codes_out = relabel[codes_out]
         merged = merged[present]
     return merged, codes_out, stats
@@ -626,13 +626,13 @@ def hash_join(left_keys: Column, right_keys: Column
     start = np.searchsorted(sorted_right, left, side="left")
     stop = np.searchsorted(sorted_right, left, side="right")
     counts = stop - start
-    if counts.sum() == 0:
+    if counts.sum(dtype=np.int64) == 0:
         empty = Column(np.empty(0, dtype=np.int64))
         return empty, empty
 
     left_positions = np.repeat(np.arange(left.size, dtype=np.int64), counts)
     # For every match, the offset within its run of equal right keys.
-    within = np.arange(counts.sum(), dtype=np.int64) - np.repeat(
-        np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    within = np.arange(counts.sum(dtype=np.int64), dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts, dtype=np.int64)[:-1])), counts)
     right_positions = order[np.repeat(start, counts) + within]
     return Column(left_positions), Column(right_positions.astype(np.int64))

@@ -58,6 +58,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.forksafe import check_fork_safety
 from ..errors import QueryError
 from ..storage.table import Table
 from .operators import (
@@ -565,11 +566,11 @@ def _dispatch(table: Table, ranges: Sequence[Tuple[int, int]], workers: int,
         raise ProcessBackendUnavailable(
             "process backend requested; table is not backed by a single "
             "packed file")
-    try:
-        spec_blob = pickle.dumps(spec)
-    except Exception as error:
+    problem = check_fork_safety(spec, root="ScanSpec")
+    if problem is not None:
         raise PlanNotPicklableError(
-            f"plan cannot cross a process boundary ({error})") from None
+            f"plan cannot cross a process boundary ({problem})")
+    spec_blob = pickle.dumps(spec)
     return get_pool(workers).run(path, _fingerprint(path), spec_blob, ranges)
 
 

@@ -161,7 +161,7 @@ def count_in_range_on_runs(form: CompressedForm, bounds: RangeBounds
     run_mask = (values >= bounds.low) & (values <= bounds.high)
     stats = PushdownStats(rows_total=form.original_length, rows_decoded=0,
                           runs_total=len(values))
-    return int(lengths[run_mask].sum()), stats
+    return int(lengths[run_mask].sum(dtype=np.int64)), stats
 
 
 def sum_in_range_on_runs(form: CompressedForm, bounds: RangeBounds
@@ -178,7 +178,7 @@ def sum_in_range_on_runs(form: CompressedForm, bounds: RangeBounds
     run_mask = (values >= bounds.low) & (values <= bounds.high)
     stats = PushdownStats(rows_total=form.original_length, rows_decoded=0,
                           runs_total=len(values))
-    return int((values[run_mask] * lengths[run_mask]).sum()), stats
+    return int((values[run_mask] * lengths[run_mask]).sum(dtype=np.int64)), stats
 
 
 # --------------------------------------------------------------------------- #
@@ -210,13 +210,13 @@ def range_mask_on_for(form: CompressedForm, bounds: RangeBounds
     stats = PushdownStats(
         rows_total=n,
         segments_total=len(refs),
-        segments_skipped=int(reject.sum()),
-        segments_accepted=int(accept.sum()),
+        segments_skipped=int(reject.sum(dtype=np.int64)),
+        segments_accepted=int(accept.sum(dtype=np.int64)),
     )
 
     if inspect.any() and form.scheme != "STEPFUNCTION":
         rows_to_inspect = inspect[seg_of_row]
-        stats.rows_decoded = int(rows_to_inspect.sum())
+        stats.rows_decoded = int(rows_to_inspect.sum(dtype=np.int64))
         if stats.rows_decoded * 4 <= n:
             # Sparse straddle: decode only the inspected rows' offsets (a
             # positional gather into the packed stream) instead of the whole

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Mapping, Tuple
 
+import numpy as np
+
 from ..columnar.column import Column
-from ..columnar.plan import Plan
+from ..columnar.plan import Plan, PlanStep
 from ..errors import DecompressionError, SchemeParameterError
 from .base import CompressedForm, CompressionScheme
 from .identity import Identity
@@ -191,7 +193,10 @@ class Cascade(CompressionScheme):
             nested_key = scheme.plan_cache_key(nested_form)
             if nested_key is None:
                 return None
-            inner_keys.append((name, nested_key))
+            # The spliced restore-cast makes the flat plan depend on the
+            # constituent's stored dtype (chunks of one column can narrow
+            # positions to different widths), so the dtype joins the key.
+            inner_keys.append((name, str(nested_form.original_dtype), nested_key))
         try:
             prefix = self.__dict__.get("_plan_key_prefix")
             if prefix is None:
@@ -276,12 +281,46 @@ class Cascade(CompressionScheme):
         for constituent, scheme in self.inner.items():
             nested_form = form.nested[constituent]
             inner_plan = scheme.decompression_plan(nested_form)
+            inner_plan = self._with_restore_cast(scheme, nested_form, inner_plan)
             inner_plan = inner_plan.rename_bindings(
                 {name: f"{constituent}.{name}" for name in inner_plan.bindings_defined()}
             )
             plan = plan.compose_after(inner_plan, constituent,
                                       description=f"{self.describe()} decompression")
         return plan
+
+    @staticmethod
+    def _with_restore_cast(scheme: CompressionScheme, nested_form: CompressedForm,
+                           inner_plan: Plan) -> Plan:
+        """Append the restore-cast ``decompress()`` applies outside the plan.
+
+        A standalone ``decompress`` casts its plan's output back to the
+        form's original dtype as a final Python-side step; a spliced inner
+        plan feeds the outer plan directly, so the cast must become a plan
+        step — e.g. packed DICT codes are stored uint8 and the outer
+        ``UnpackBits`` rejects the int64 the inner scheme's plan produces.
+        The step is added only when the statically-inferred output dtype
+        provably differs (unknown dtypes splice unchanged, as before).
+        """
+        stored = nested_form.original_dtype
+        if stored is None:
+            return inner_plan
+        input_dtypes = {name: column.dtype
+                        for name, column in scheme.plan_inputs(nested_form).items()}
+        inferred = inner_plan.output_dtype(input_dtypes)
+        if inferred is None or inferred == np.dtype(stored):
+            return inner_plan
+        restored = f"{inner_plan.output}__restored"
+        return Plan(
+            list(inner_plan.inputs),
+            list(inner_plan.steps) + [
+                PlanStep(output=restored, op="Cast",
+                         column_inputs={"col": inner_plan.output},
+                         params={"dtype": np.dtype(stored)}),
+            ],
+            restored,
+            description=inner_plan.description,
+        )
 
     def plan_inputs(self, form: CompressedForm) -> Dict[str, Column]:
         inputs: Dict[str, Column] = dict(form.columns)

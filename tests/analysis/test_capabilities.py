@@ -1,0 +1,65 @@
+"""Unit tests for the capability-claim audit and golden pinning."""
+
+import json
+
+import numpy as np
+
+from repro.analysis import capabilities
+from repro.analysis.capabilities import (
+    audit_form,
+    audit_registry,
+    check_against_golden,
+    golden_claims,
+)
+from repro.columnar.column import Column
+from repro.schemes import registry
+from repro.schemes.base import KERNEL_FILTER_RANGE
+
+
+class TestAudit:
+    def test_registry_audit_is_clean(self):
+        for entry in audit_registry():
+            assert entry.findings == (), entry
+
+    def test_overclaim_is_flagged(self):
+        scheme = registry.make_scheme("DELTA")
+        data = Column(np.arange(50, dtype=np.int64))
+        form = scheme.compress(data)
+
+        class Overclaiming(type(scheme)):
+            def kernel_capabilities(self, form):
+                return frozenset({KERNEL_FILTER_RANGE})
+
+        loud = Overclaiming()
+        kinds = {f.kind for f in audit_form(loud, form, "DELTA/over").findings}
+        assert "capability-overclaim" in kinds
+
+    def test_ns_zigzag_does_not_filter(self):
+        # Zig-zag storage is not order-preserving, so the engine refuses the
+        # range translation; the audit must agree with the scheme's claim.
+        scheme = registry.make_scheme("NS", signed="zigzag")
+        data = Column(np.arange(-30, 31, dtype=np.int64))
+        entry = audit_form(scheme, scheme.compress(data), "NS/zigzag")
+        assert KERNEL_FILTER_RANGE not in entry.dispatchable
+        assert entry.findings == ()
+
+
+class TestGolden:
+    def test_current_claims_match_pinned(self):
+        assert check_against_golden() == []
+
+    def test_drift_is_detected(self, tmp_path, monkeypatch):
+        pinned = golden_claims()
+        pinned["RLE"] = ["gather"]  # drop the pinned aggregate/filter claims
+        fake = tmp_path / "capability_golden.json"
+        fake.write_text(json.dumps(pinned))
+        monkeypatch.setattr(capabilities, "GOLDEN_PATH", fake)
+        findings = check_against_golden()
+        assert any(f.kind == "capability-golden" and f.where == "RLE"
+                   for f in findings)
+
+    def test_missing_golden_is_reported(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(capabilities, "GOLDEN_PATH",
+                            tmp_path / "does_not_exist.json")
+        findings = check_against_golden()
+        assert any(f.kind == "capability-golden" for f in findings)

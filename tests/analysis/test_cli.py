@@ -1,0 +1,32 @@
+"""The ``python -m repro.analysis`` entry point gates correctly."""
+
+import json
+
+from repro.analysis import capabilities
+from repro.analysis.__main__ import main
+
+
+class TestCli:
+    def test_full_run_is_clean(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for section in ("lint", "audit", "plans", "corpus"):
+            assert f"-- {section}: clean" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RA001" in out and "RA002" in out and "RA003" in out
+
+    def test_golden_drift_fails_the_run(self, tmp_path, monkeypatch, capsys):
+        fake = tmp_path / "capability_golden.json"
+        fake.write_text(json.dumps({"RLE": ["gather"]}))
+        monkeypatch.setattr(capabilities, "GOLDEN_PATH", fake)
+        assert main(["--skip-lint", "--skip-plans", "--skip-corpus"]) == 1
+
+    def test_write_golden_then_clean(self, tmp_path, monkeypatch):
+        fake = tmp_path / "capability_golden.json"
+        monkeypatch.setattr(capabilities, "GOLDEN_PATH", fake)
+        assert main(["--skip-lint", "--skip-plans", "--skip-corpus",
+                     "--write-golden"]) == 0
+        assert fake.exists()

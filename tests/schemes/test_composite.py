@@ -182,3 +182,41 @@ class TestSchemeRegistry:
                                  inner_parameters={"refs": {"narrow": False}})
         assert composite.outer.segment_length == 32
         assert composite.inner["refs"].narrow is False
+
+
+class TestRestoreCast:
+    """The spliced inner plan must restore the constituent's stored dtype.
+
+    ``decompress()`` casts outside the plan, but a cascade feeds the inner
+    plan's output straight into the outer plan — packed DICT codes must
+    arrive uint8, and narrowed RPE positions must keep their stored width.
+    """
+
+    def test_dict_packed_codes_interpret_like_compiled(self):
+        composite = make_cascade("DICT", {"codes": "NS"})
+        data = Column(np.arange(300, dtype=np.int64) % 7)
+        form = composite.compress(data)
+        assert composite.decompress(form).equals(data)
+        assert composite.decompress_interpreted(form).equals(data)
+
+    def test_cast_step_only_when_dtype_differs(self):
+        narrow = make_cascade("DICT", {"codes": "NS"})
+        form = narrow.compress(Column(np.arange(64, dtype=np.int64) % 5))
+        assert "Cast" in narrow.decompression_plan(form).operator_counts()
+        plain = make_cascade("RLE", {"values": "NS"})
+        form = plain.compress(Column(np.repeat(np.arange(9, dtype=np.int64), 4)))
+        assert "Cast" not in plain.decompression_plan(form).operator_counts()
+
+    def test_mixed_position_widths_do_not_share_a_cast(self):
+        # Two chunks of one logical column can narrow run positions to
+        # different widths; the compiled-plan cache must not reuse the
+        # uint16 restore-cast for the uint32 chunk (65536 would wrap to 0).
+        composite = make_cascade("RPE", {"run_positions": "DELTA"})
+        short = Column(np.repeat(np.arange(40, dtype=np.int64), 25))
+        long = Column(np.repeat(np.arange(40, dtype=np.int64), 1700))
+        short_form = composite.compress(short)
+        long_form = composite.compress(long)
+        assert short_form.nested["run_positions"].original_dtype != \
+            long_form.nested["run_positions"].original_dtype
+        assert composite.decompress(short_form).equals(short)
+        assert composite.decompress(long_form).equals(long)

@@ -263,6 +263,51 @@ class Dataset:
         """Keep filter conjuncts in source order (benchmark baseline mode)."""
         return self._replace_options(preserve_filter_order=True)
 
+    def with_fault_policy(self, on_corruption: Optional[str] = None,
+                          on_fault: Optional[str] = None,
+                          retries: Optional[int] = None,
+                          backoff_s: Optional[float] = None,
+                          deadline_s: Optional[float] = None) -> "Dataset":
+        """Configure how this dataset's scans respond to faults.
+
+        *on_corruption* is ``"raise"`` (a failed segment digest aborts the
+        query with :class:`~repro.errors.CorruptionError`) or
+        ``"quarantine"`` (the corrupt chunk range contributes no rows,
+        accounted in ``ScanStats.chunks_quarantined``); *on_fault* is
+        ``"raise"`` or ``"degrade"`` (fall back process → thread → serial,
+        recording the chain in the result's backend string); *retries*
+        bounds re-executions of a failed chunk range; *deadline_s* bounds a
+        scan's wall clock (:class:`~repro.errors.ScanTimeoutError` on
+        expiry).  Unspecified arguments keep the current policy's values —
+        see :class:`repro.engine.resilience.FaultPolicy` for defaults.
+        """
+        from dataclasses import replace as _replace
+
+        from ..engine.resilience import DEFAULT_FAULT_POLICY
+
+        base = self._options.fault_policy or DEFAULT_FAULT_POLICY
+        changes = {name: value for name, value in (
+            ("on_corruption", on_corruption), ("on_fault", on_fault),
+            ("retries", retries), ("backoff_s", backoff_s),
+            ("deadline_s", deadline_s)) if value is not None}
+        return self._replace_options(fault_policy=_replace(base, **changes))
+
+    def with_fault_injection(self, plan) -> "Dataset":
+        """Inject deterministic faults into this dataset's scans (chaos
+        testing) — *plan* is a :class:`repro.engine.resilience.FaultPlan`
+        (or a dict of its fields).  Pass ``None`` to clear a previously set
+        plan (the ``REPRO_FAULT_PLAN`` environment hook, when set, still
+        applies)."""
+        from ..engine.resilience import FaultPlan
+
+        if isinstance(plan, dict):
+            plan = FaultPlan.from_spec(plan)
+        if plan is not None and not isinstance(plan, FaultPlan):
+            raise QueryError(
+                f"with_fault_injection() expects a FaultPlan, a dict of its "
+                f"fields, or None, got {type(plan).__name__}")
+        return self._replace_options(fault_plan=plan)
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -295,6 +340,10 @@ class Dataset:
                      f"parallelism={options.parallelism}",
                      f"pushdown={'on' if options.use_pushdown else 'off'}",
                      f"zone-maps={'on' if options.use_zone_maps else 'off'}"]
+            if options.fault_policy is not None:
+                flags.append(f"fault-policy=[{options.fault_policy.describe()}]")
+            if options.fault_plan is not None:
+                flags.append("fault-injection=on")
             lines.append(f"{pad}{node.label()} [{', '.join(flags)}]")
             for note in node.notes:
                 lines.append(f"{pad}  note: {note}")

@@ -35,6 +35,7 @@ from ..engine.operators import ScanStats, aggregate as scalar_aggregate, \
     aggregate_stored, gather_stored, group_codes_stored, grouped_reduce, \
     hash_join
 from ..engine.predicates import Between, Equals, IsIn, Predicate
+from ..engine.resilience import FaultPlan, FaultPolicy
 from ..engine.scan import _pushable_bounds, scan_table
 from ..storage.table import Table
 from . import logical
@@ -98,6 +99,15 @@ class LoweringOptions:
     #: ``use_compressed_exec`` says (the seed comparison re-runs the same
     #: scheduler).  Not a user-facing knob.
     materialize_aggregates: bool = False
+    #: How scans respond to faults — retries/backoff for failed chunk
+    #: ranges, per-scan deadline, corruption quarantine, and the
+    #: process → thread → serial degradation chain.  ``None`` means
+    #: :data:`repro.engine.resilience.DEFAULT_FAULT_POLICY`.
+    fault_policy: Optional["FaultPolicy"] = None
+    #: Deterministic fault injection for chaos testing
+    #: (:class:`repro.engine.resilience.FaultPlan`); ``None`` defers to the
+    #: ``REPRO_FAULT_PLAN`` environment hook.
+    fault_plan: Optional["FaultPlan"] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -387,7 +397,9 @@ def _exec_pscan(node: logical.PScan, options: LoweringOptions) -> Frame:
                       derive=derive,
                       use_compressed_exec=options.use_compressed_exec,
                       backend=options.backend,
-                      cache_bytes=options.cache_bytes)
+                      cache_bytes=options.cache_bytes,
+                      fault_plan=options.fault_plan,
+                      fault_policy=options.fault_policy)
     columns = {name: scan.columns[name] for name in node.output}
     return Frame(columns=columns, row_count=len(scan.selection),
                  stats_list=[scan.stats] if scan.stats is not None else [])
@@ -545,7 +557,9 @@ def _exec_aggregate_compressed(node: logical.Aggregate, spec: Dict[str, Any],
                       row_filters=row_filters,
                       use_compressed_exec=True,
                       backend=options.backend,
-                      cache_bytes=options.cache_bytes)
+                      cache_bytes=options.cache_bytes,
+                      fault_plan=options.fault_plan,
+                      fault_policy=options.fault_policy)
     positions = scan.selection.positions.values
     stats = scan.stats if scan.stats is not None else ScanStats()
 
@@ -642,17 +656,28 @@ def _exec_aggregate_partial(node: logical.Aggregate, spec: Dict[str, Any],
                                   child.table.row_count)
     if workers <= 1:
         return None
+    from ..engine.resilience import DEFAULT_FAULT_POLICY, plan_from_env
+
+    policy = options.fault_policy if options.fault_policy is not None \
+        else DEFAULT_FAULT_POLICY
+    plan = options.fault_plan if options.fault_plan is not None \
+        else plan_from_env()
     scan_spec = parallel.ScanSpec(
         predicates=tuple(predicates), row_filters=tuple(row_filters),
         use_pushdown=options.use_pushdown,
         use_zone_maps=options.use_zone_maps,
         use_compressed_exec=True, cache_bytes=options.cache_bytes,
-        aggregates=spec)
+        aggregates=spec, fault_plan=plan,
+        on_corruption=policy.on_corruption)
     try:
         state, stats, rows = parallel.run_process_aggregate(
-            child.table, workers, scan_spec)
+            child.table, workers, scan_spec, policy)
     except parallel.ProcessBackendUnavailable:
         return None
+    except parallel.ParallelExecutionError:
+        if policy.on_fault != "degrade":
+            raise
+        return None  # degrade: the serial compressed path recomputes it
 
     if spec["key"] is None:
         scalars = {name: agg_state.finalize()

@@ -45,6 +45,7 @@ from .parallel import (
     shutdown_pools,
 )
 from .query import JoinResult, Query, QueryResult, join_tables
+from .resilience import DEFAULT_FAULT_POLICY, FaultPlan, FaultPolicy
 from .scan import (
     BACKENDS,
     ScanResult,
@@ -97,6 +98,9 @@ __all__ = [
     "ParallelExecutionError",
     "packed_source_path",
     "shutdown_pools",
+    "FaultPlan",
+    "FaultPolicy",
+    "DEFAULT_FAULT_POLICY",
     "ApproximateAnswer",
     "approximate_sum",
     "approximate_mean",

@@ -72,15 +72,28 @@ class ScanStats:
     hot_cache_hits: int = 0
     hot_cache_misses: int = 0
     hot_cache_evictions: int = 0
+    #: Resilience accounting (see :mod:`repro.engine.resilience`):
+    #: ``chunks_quarantined`` counts chunk ranges skipped because a segment
+    #: failed its integrity check under ``on_corruption="quarantine"`` —
+    #: it affects results, so it stays in :meth:`comparable`.  The other
+    #: three count recovery work (range re-executions, worker respawns,
+    #: observed fault occurrences) that varies with timing and fault
+    #: placement, not with what the scan logically computed.
+    chunks_quarantined: int = 0
+    ranges_retried: int = 0
+    workers_respawned: int = 0
+    fault_events: int = 0
     pushdown: PushdownStats = field(default_factory=PushdownStats)
 
     #: Counters reflecting process-local warm state (compiled-plan and
-    #: hot-chunk cache traffic) rather than what the scan logically did.
-    #: They vary with execution history even between two serial runs, so
-    #: backend-equivalence checks compare :meth:`comparable` instead.
+    #: hot-chunk cache traffic) or fault-recovery history rather than what
+    #: the scan logically did.  They vary with execution history even
+    #: between two serial runs, so backend-equivalence checks compare
+    #: :meth:`comparable` instead.
     WARMTH_FIELDS = ("plan_cache_hits", "plan_cache_misses",
                      "hot_cache_hits", "hot_cache_misses",
-                     "hot_cache_evictions")
+                     "hot_cache_evictions", "ranges_retried",
+                     "workers_respawned", "fault_events")
 
     def merge_pushdown(self, stats: PushdownStats) -> None:
         self.pushdown.rows_total += stats.rows_total
@@ -109,6 +122,10 @@ class ScanStats:
         self.hot_cache_hits += other.hot_cache_hits
         self.hot_cache_misses += other.hot_cache_misses
         self.hot_cache_evictions += other.hot_cache_evictions
+        self.chunks_quarantined += other.chunks_quarantined
+        self.ranges_retried += other.ranges_retried
+        self.workers_respawned += other.workers_respawned
+        self.fault_events += other.fault_events
         self.merge_pushdown(other.pushdown)
 
     def comparable(self) -> Dict[str, int]:

@@ -34,12 +34,26 @@ Design
   :class:`~repro.engine.operators.GroupedAggState` per range instead of
   positions, and the coordinator folds them with
   :func:`~repro.engine.operators.merge_states`.
-* **Failure is loud.**  A worker-side exception travels back as a traceback
-  and raises :class:`ParallelExecutionError` (the pool survives); a worker
-  *dying* mid-scan is detected by a liveness check on the result-queue poll,
-  the pool is torn down, and the same error is raised instead of hanging.
-  An unpicklable plan raises :class:`PlanNotPicklableError`, which the scan
-  scheduler turns into a serial fallback with a note.
+* **Failure is survivable.**  The coordinator self-heals under a
+  :class:`~repro.engine.resilience.FaultPolicy`: a worker *dying* mid-scan
+  is detected by a liveness check on the result-queue poll, the dead
+  process is respawned in place, and every unfinished chunk range is
+  re-enqueued — safe unconditionally, because scans are read-only and
+  range execution is idempotent (first result per range wins, duplicates
+  are dropped).  A worker-side exception is retried on a fresh attempt
+  with exponential backoff, up to ``policy.retries`` times, before it
+  surfaces as :class:`ParallelExecutionError`; a failed segment digest is
+  *not* retried (corruption is persistent) — it either re-raises as the
+  typed :class:`~repro.errors.CorruptionError` or, under
+  ``on_corruption="quarantine"``, the range contributes no rows and is
+  accounted in ``ScanStats.chunks_quarantined``.  ``policy.deadline_s``
+  bounds the whole query: on expiry in-flight work is cancelled (the pool
+  is abandoned, which kills stragglers) and
+  :class:`~repro.errors.ScanTimeoutError` is raised.  An unpicklable plan
+  raises :class:`PlanNotPicklableError`, which the scan scheduler turns
+  into a serial fallback with a note.  :class:`ScanSpec.fault_plan`
+  carries a deterministic :class:`~repro.engine.resilience.FaultPlan`
+  into the workers — the chaos harness that proves all of the above.
 """
 
 from __future__ import annotations
@@ -51,6 +65,7 @@ import os
 import pickle
 import queue
 import threading
+import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -59,7 +74,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.forksafe import check_fork_safety
-from ..errors import QueryError
+from ..errors import CorruptionError, QueryError, ScanTimeoutError
 from ..storage.table import Table
 from .operators import (
     GroupedAggState,
@@ -71,11 +86,13 @@ from .operators import (
     aggregate_stored_partial,
     merge_states,
 )
+from .resilience import DEFAULT_FAULT_POLICY, FaultPlan, FaultPolicy
 
 __all__ = [
     "ChunkCache",
     "ParallelExecutionError",
     "PlanNotPicklableError",
+    "PoolReport",
     "ProcessBackendUnavailable",
     "ScanSpec",
     "get_pool",
@@ -131,9 +148,22 @@ def packed_source_path(table: Table) -> Optional[str]:
     return None if source is None else str(source.path)
 
 
-def _fingerprint(path: str) -> Tuple[int, int]:
+def _fingerprint(path: str) -> Tuple[int, int, int]:
+    """Identity of the packed file's current bytes, keying the per-worker
+    table cache.
+
+    Size and mtime alone miss an in-place rewrite that preserves both
+    (``st_mtime_ns`` granularity is filesystem-dependent, and a rewrite of
+    the same table reproduces the same size) — a worker would then serve
+    results from a stale mmap.  The footer CRC32 closes that hole: a v3
+    footer embeds a fresh ``write_uuid`` on every write, so its digest
+    cannot collide across rewrites.  Only the coordinator pays the footer
+    read; workers just compare the tuple shipped with the spec.
+    """
+    from ..io.reader import footer_fingerprint
+
     stat = os.stat(path)
-    return (stat.st_size, stat.st_mtime_ns)
+    return (stat.st_size, stat.st_mtime_ns, footer_fingerprint(path))
 
 
 # --------------------------------------------------------------------------- #
@@ -161,6 +191,14 @@ class ScanSpec:
     use_compressed_exec: bool = True
     cache_bytes: int = 0
     aggregates: Optional[Dict[str, Any]] = None
+    #: Deterministic fault injection (chaos testing): read-path faults are
+    #: installed around range execution, worker faults consulted per
+    #: ``(range index, attempt)`` — see :mod:`repro.engine.resilience`.
+    fault_plan: Optional[FaultPlan] = None
+    #: The worker-relevant half of the :class:`FaultPolicy`: whether a
+    #: failed segment digest aborts the range (``"raise"``) or yields an
+    #: empty quarantined result (``"quarantine"``).
+    on_corruption: str = "raise"
 
 
 # --------------------------------------------------------------------------- #
@@ -253,11 +291,11 @@ class _Prepared:
 #: Worker-process globals: opened packed tables (path -> (fingerprint,
 #: PackedTableFile, Table)) and the worker-wide hot-chunk cache.  These are
 #: what "caches warm once per worker" means — they outlive queries.
-_WORKER_TABLES: Dict[str, Tuple[Tuple[int, int], Any, Table]] = {}
+_WORKER_TABLES: Dict[str, Tuple[Tuple[int, int, int], Any, Table]] = {}
 _WORKER_CACHE: Optional[ChunkCache] = None
 
 
-def _prepare(path: str, fingerprint: Tuple[int, int], blob: bytes) -> _Prepared:
+def _prepare(path: str, fingerprint: Tuple[int, int, int], blob: bytes) -> _Prepared:
     global _WORKER_CACHE
     from ..io.reader import open_packed_table
     from .scan import _scan_starts
@@ -379,20 +417,53 @@ def _execute_range(prepared: _Prepared, lo: int, hi: int) -> Tuple:
     return (outcome.positions, stats, outcome.pieces)
 
 
+def _quarantined_payload(prepared: _Prepared) -> Tuple:
+    """The payload of a quarantined range: no rows, fully mergeable.
+
+    Mirrors the shapes :func:`_execute_range` returns so the coordinator's
+    in-order merge needs no special case — for aggregates the states are
+    built through :func:`_partial_states` over an empty selection, so their
+    dtypes and identities match every non-quarantined partial exactly.
+    """
+    from .scan import _quarantined_outcome
+
+    spec = prepared.spec
+    if spec.aggregates is not None:
+        stats = ScanStats()
+        stats.chunks_quarantined = 1
+        stats.fault_events = 1
+        state = _partial_states(prepared.table, np.empty(0, dtype=np.int64),
+                                spec.aggregates, stats)
+        return (stats, state, 0)
+    outcome = _quarantined_outcome(prepared.table, spec.materialize,
+                                   spec.derive)
+    return (outcome.positions, outcome.stats, outcome.pieces)
+
+
 def _worker_main(spec_queue, task_queue, result_queue) -> None:
     """The worker-process loop: pull tasks, execute, stream results back.
 
     Specs are broadcast on a per-worker queue *before* their tasks are
     enqueued, so a worker seeing an unknown ``query_id`` drains its spec
     queue until the matching spec arrives.  Any per-task failure is caught
-    and shipped as a traceback — the worker itself stays alive.
+    and shipped as a structured error record — the worker itself stays
+    alive; it marks :class:`~repro.errors.CorruptionError` non-retryable
+    (a digest mismatch is persistent, retrying cannot help).
+
+    When the spec carries a :class:`~repro.engine.resilience.FaultPlan`,
+    its worker fault (if any) for this ``(range index, attempt)`` fires
+    first — a kill never reports back (that is the point), a hang sleeps
+    and then executes normally (straggler), a corrupted result ships
+    garbage the coordinator must detect by shape.
     """
+    from . import resilience
+
     prepared_by_query: Dict[int, _Prepared] = {}
     while True:
         task = task_queue.get()
         if task is None:
             return
-        query_id, index, lo, hi = task
+        query_id, index, lo, hi, attempt = task
         try:
             prepared = prepared_by_query.get(query_id)
             while prepared is None:
@@ -402,16 +473,67 @@ def _worker_main(spec_queue, task_queue, result_queue) -> None:
             # Queries run one at a time, in id order: older specs are dead.
             for stale in [qid for qid in prepared_by_query if qid < query_id]:
                 del prepared_by_query[stale]
-            payload = _execute_range(prepared, lo, hi)
-            result_queue.put(("ok", query_id, index, payload))
-        except BaseException:
-            result_queue.put(("error", query_id, index,
-                              traceback.format_exc()))
+            spec = prepared.spec
+            plan = spec.fault_plan
+            if plan is not None:
+                action = plan.worker_action(index, attempt)
+                if action == "corrupt-result":
+                    result_queue.put(("ok", query_id, index, attempt,
+                                      b"<injected garbage payload>"))
+                    continue
+                if action is not None:
+                    plan.perform(action, index)  # kill / hang / exception
+            try:
+                with resilience.active(plan):
+                    payload = _execute_range(prepared, lo, hi)
+            except CorruptionError:
+                if spec.on_corruption != "quarantine":
+                    raise
+                payload = _quarantined_payload(prepared)
+            result_queue.put(("ok", query_id, index, attempt, payload))
+        except BaseException as error:
+            result_queue.put(("error", query_id, index, attempt, {
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": traceback.format_exc(),
+                "retryable": not isinstance(error, CorruptionError),
+            }))
 
 
 # --------------------------------------------------------------------------- #
 # Coordinator side
 # --------------------------------------------------------------------------- #
+
+@dataclass
+class PoolReport:
+    """What the self-healing coordinator did to finish one query."""
+
+    ranges_retried: int = 0
+    workers_respawned: int = 0
+    fault_events: int = 0
+
+    def apply(self, stats: ScanStats) -> None:
+        stats.ranges_retried += self.ranges_retried
+        stats.workers_respawned += self.workers_respawned
+        stats.fault_events += self.fault_events
+
+
+def _payload_shape_ok(payload: Any, aggregates: bool) -> bool:
+    """Structural validity of a worker result.
+
+    A corrupted result payload (injected by a fault plan, or any real bug
+    shipping garbage over the pipe) must become a retry, not a crash while
+    merging.
+    """
+    if not isinstance(payload, tuple) or len(payload) != 3:
+        return False
+    if aggregates:
+        stats, __, rows = payload
+        return isinstance(stats, ScanStats) and isinstance(rows, int)
+    positions, stats, pieces = payload
+    return (isinstance(positions, np.ndarray)
+            and isinstance(stats, ScanStats) and isinstance(pieces, dict))
+
 
 def _mp_context():
     # fork shares the imported interpreter state (cheap startup and
@@ -452,53 +574,154 @@ class ProcessPool:
     def healthy(self) -> bool:
         return not self._closed and all(p.is_alive() for p in self._processes)
 
-    def run(self, path: str, fingerprint: Tuple[int, int], spec_blob: bytes,
-            ranges: Sequence[Tuple[int, int]]) -> List[Tuple]:
-        """Execute one query's ranges; payloads come back in range order."""
+    def run(self, path: str, fingerprint: Tuple[int, int, int],
+            spec_blob: bytes, ranges: Sequence[Tuple[int, int]],
+            policy: Optional[FaultPolicy] = None,
+            aggregates: bool = False) -> Tuple[List[Tuple], PoolReport]:
+        """Execute one query's ranges, healing the pool as needed.
+
+        Returns ``(payloads in range order, PoolReport)``.  Dead workers
+        are respawned and every unfinished range re-enqueued (duplicates
+        resolve first-result-wins); worker errors retry up to
+        ``policy.retries`` times with exponential backoff; a range that
+        keeps failing raises :class:`ParallelExecutionError` — except a
+        non-retryable :class:`~repro.errors.CorruptionError`, which is
+        re-raised typed, immediately, with the pool left healthy.
+        ``policy.deadline_s`` bounds the whole call; on expiry the pool is
+        abandoned (stragglers are killed) and
+        :class:`~repro.errors.ScanTimeoutError` raised.
+        """
+        policy = policy if policy is not None else DEFAULT_FAULT_POLICY
         with self._lock:
             if self._closed:
                 raise ParallelExecutionError("process pool is shut down")
             query_id = next(self._query_ids)
+            deadline = (time.monotonic() + policy.deadline_s
+                        if policy.deadline_s is not None else None)
             for spec_queue in self._spec_queues:
                 spec_queue.put((query_id, path, fingerprint, spec_blob))
             for index, (lo, hi) in enumerate(ranges):
-                self._task_queue.put((query_id, index, lo, hi))
+                self._task_queue.put((query_id, index, lo, hi, 0))
             payloads: List[Optional[Tuple]] = [None] * len(ranges)
+            attempts = [0] * len(ranges)
+            report = PoolReport()
             pending = len(ranges)
-            while pending:
-                try:
-                    message = self._result_queue.get(timeout=1.0)
-                except queue.Empty:
-                    dead = [p for p in self._processes if not p.is_alive()]
-                    if dead:
-                        self._abandon()
-                        raise ParallelExecutionError(
-                            f"scan worker {dead[0].name} (pid {dead[0].pid}) "
-                            f"died mid-scan with exit code "
-                            f"{dead[0].exitcode}; the process pool has been "
-                            "shut down and will be recreated on the next "
-                            "query") from None
-                    continue
-                kind, qid, index, payload = message
-                if qid != query_id:
-                    continue  # straggler from an abandoned earlier query
-                if kind == "error":
+
+            def retry(index: int, cause: str) -> None:
+                report.fault_events += 1
+                if attempts[index] >= policy.retries:
+                    self._abandon()
                     raise ParallelExecutionError(
-                        f"scan worker failed on chunk range {index}:\n"
-                        f"{payload}")
+                        f"chunk range {index} failed "
+                        f"{attempts[index] + 1} time(s) "
+                        f"(retries={policy.retries} exhausted); last cause:\n"
+                        f"{cause}")
+                attempts[index] += 1
+                report.ranges_retried += 1
+                backoff = policy.backoff_s * 2.0 ** (attempts[index] - 1)
+                if backoff > 0:
+                    time.sleep(min(backoff, 1.0))
+                lo, hi = ranges[index]
+                self._task_queue.put((query_id, index, lo, hi,
+                                      attempts[index]))
+
+            while pending:
+                timeout = 1.0
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._abandon()
+                        raise ScanTimeoutError(
+                            f"scan exceeded its {policy.deadline_s:g}s "
+                            f"fault-policy deadline with {pending} of "
+                            f"{len(ranges)} chunk range(s) unfinished; "
+                            "in-flight work was cancelled and the process "
+                            "pool shut down")
+                    timeout = min(timeout, max(remaining, 0.01))
+                try:
+                    message = self._result_queue.get(timeout=timeout)
+                except queue.Empty:
+                    self._heal(query_id, path, fingerprint, spec_blob,
+                               ranges, payloads, attempts, report, policy)
+                    continue
+                kind, qid, index, __attempt, payload = message
+                if qid != query_id or payloads[index] is not None:
+                    continue  # stale query, or a duplicate of a healed range
+                if kind == "error":
+                    if not payload.get("retryable", True):
+                        _raise_typed(payload)
+                    retry(index, payload.get("traceback", repr(payload)))
+                    continue
+                if not _payload_shape_ok(payload, aggregates):
+                    retry(index, "worker returned a corrupt result payload "
+                                 f"({type(payload).__name__})")
+                    continue
                 payloads[index] = payload
                 pending -= 1
-            return payloads  # type: ignore[return-value]
+            return payloads, report  # type: ignore[return-value]
+
+    def _heal(self, query_id: int, path: str,
+              fingerprint: Tuple[int, int, int], spec_blob: bytes,
+              ranges: Sequence[Tuple[int, int]],
+              payloads: List[Optional[Tuple]], attempts: List[int],
+              report: PoolReport, policy: FaultPolicy) -> None:
+        """Respawn dead workers and re-enqueue every unfinished range.
+
+        Called when the result queue goes quiet.  The coordinator cannot
+        know which range a dead worker held, so all unfinished ranges are
+        re-enqueued at a bumped attempt (idempotent re-execution;
+        duplicate results are dropped first-result-wins; the bump keeps
+        non-sticky injected faults from re-firing).  A range whose retry
+        budget is exhausted by repeated deaths fails the query.
+        """
+        dead = [slot for slot, process in enumerate(self._processes)
+                if not process.is_alive()]
+        if not dead:
+            return
+        context = _mp_context()
+        for slot in dead:
+            process = self._processes[slot]
+            process.join(timeout=1)
+            process.close()  # release the Process object's pipe/fd now
+            replacement = context.Process(
+                target=_worker_main,
+                args=(self._spec_queues[slot], self._task_queue,
+                      self._result_queue),
+                daemon=True, name=f"repro-scan-worker-{slot}")
+            replacement.start()
+            self._processes[slot] = replacement
+            # The replacement never saw this query's spec broadcast.
+            self._spec_queues[slot].put((query_id, path, fingerprint,
+                                         spec_blob))
+            report.workers_respawned += 1
+            report.fault_events += 1
+        for index, payload in enumerate(payloads):
+            if payload is not None:
+                continue
+            if attempts[index] >= policy.retries:
+                self._abandon()
+                raise ParallelExecutionError(
+                    f"chunk range {index} was lost to dying workers "
+                    f"{attempts[index] + 1} time(s) "
+                    f"(retries={policy.retries} exhausted); the process "
+                    "pool has been shut down")
+            attempts[index] += 1
+            report.ranges_retried += 1
+            lo, hi = ranges[index]
+            self._task_queue.put((query_id, index, lo, hi, attempts[index]))
 
     def _abandon(self) -> None:
-        """Tear down after a dead worker: the queues may hold undelivered
-        state, so the whole pool is discarded."""
+        """Tear down after an unrecoverable failure or deadline expiry: the
+        queues may hold undelivered state (and a straggler may be mid-
+        hang), so the whole pool is discarded — workers killed, joined and
+        closed, queue feeder pipes released."""
         self._closed = True
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
         for process in self._processes:
             process.join(timeout=5)
+        self._close_processes()
         self._release_queues()
         with _POOLS_LOCK:
             if _POOLS.get(self.workers) is self:
@@ -519,7 +742,24 @@ class ProcessPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=2)
+        self._close_processes()
         self._release_queues()
+
+    def _close_processes(self) -> None:
+        """Release every worker's ``Process`` handle (sentinel pipe fd).
+
+        Without this an abandoned pool leaks one pipe fd and one zombie
+        entry per worker until garbage collection happens to run —
+        ``close()`` reaps them deterministically.  A worker that survived
+        ``terminate`` + ``join`` (wedged in uninterruptible I/O) cannot be
+        closed; it stays a child until process exit, which the ``Exception``
+        guard tolerates.
+        """
+        for process in self._processes:
+            try:
+                process.close()
+            except Exception:
+                pass
 
     def _release_queues(self) -> None:
         for q in [self._task_queue, self._result_queue, *self._spec_queues]:
@@ -528,6 +768,24 @@ class ProcessPool:
                 q.close()
             except Exception:
                 pass
+
+
+def _raise_typed(payload: Dict[str, Any]) -> None:
+    """Re-raise a worker's non-retryable error with its original type.
+
+    A :class:`~repro.errors.CorruptionError` crossing the pipe as a record
+    must surface to the caller as a :class:`CorruptionError` (the typed
+    contract: every fault either heals or raises an error naming it), not
+    as a generic pool failure.  Unknown types fall back to
+    :class:`ParallelExecutionError` with the full worker traceback.
+    """
+    from .. import errors as _errors
+
+    cls = getattr(_errors, str(payload.get("type", "")), None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        raise cls(payload.get("message", "worker-side failure"))
+    raise ParallelExecutionError(
+        f"scan worker failed:\n{payload.get('traceback', repr(payload))}")
 
 
 _POOLS: Dict[int, ProcessPool] = {}
@@ -560,7 +818,8 @@ atexit.register(shutdown_pools)
 # --------------------------------------------------------------------------- #
 
 def _dispatch(table: Table, ranges: Sequence[Tuple[int, int]], workers: int,
-              spec: ScanSpec) -> List[Tuple]:
+              spec: ScanSpec, policy: Optional[FaultPolicy] = None
+              ) -> Tuple[List[Tuple], PoolReport]:
     path = packed_source_path(table)
     if path is None:
         raise ProcessBackendUnavailable(
@@ -571,41 +830,50 @@ def _dispatch(table: Table, ranges: Sequence[Tuple[int, int]], workers: int,
         raise PlanNotPicklableError(
             f"plan cannot cross a process boundary ({problem})")
     spec_blob = pickle.dumps(spec)
-    return get_pool(workers).run(path, _fingerprint(path), spec_blob, ranges)
+    return get_pool(workers).run(path, _fingerprint(path), spec_blob, ranges,
+                                 policy=policy,
+                                 aggregates=spec.aggregates is not None)
 
 
 def run_process_scan(table: Table, ranges: Sequence[Tuple[int, int]],
-                     workers: int, spec: ScanSpec) -> List[Any]:
+                     workers: int, spec: ScanSpec,
+                     policy: Optional[FaultPolicy] = None
+                     ) -> Tuple[List[Any], PoolReport]:
     """Run a filter/materialize scan on the process pool.
 
-    Returns per-range outcomes in chunk order, shaped exactly like the
-    serial scheduler's ``_RangeOutcome`` list, so
-    :func:`~repro.engine.scan.scan_table` merges them identically.
+    Returns ``(outcomes, report)``: per-range outcomes in chunk order,
+    shaped exactly like the serial scheduler's ``_RangeOutcome`` list so
+    :func:`~repro.engine.scan.scan_table` merges them identically, plus
+    the coordinator's healing :class:`PoolReport`.
     """
     from .scan import _RangeOutcome
 
-    payloads = _dispatch(table, ranges, workers, spec)
-    return [_RangeOutcome(positions=positions, stats=stats, pieces=pieces)
-            for positions, stats, pieces in payloads]
+    payloads, report = _dispatch(table, ranges, workers, spec, policy)
+    outcomes = [_RangeOutcome(positions=positions, stats=stats, pieces=pieces)
+                for positions, stats, pieces in payloads]
+    return outcomes, report
 
 
-def run_process_aggregate(table: Table, workers: int, spec: ScanSpec
+def run_process_aggregate(table: Table, workers: int, spec: ScanSpec,
+                          policy: Optional[FaultPolicy] = None
                           ) -> Tuple[Any, ScanStats, int]:
     """Run a partial-mergeable aggregate on the process pool.
 
     *spec.aggregates* must be set.  Returns ``(merged state, merged stats,
     qualifying row count)``; states merge associatively in chunk order via
-    :func:`~repro.engine.operators.merge_states`.
+    :func:`~repro.engine.operators.merge_states`, and the coordinator's
+    healing work lands in the stats' resilience counters.
     """
     from .scan import _grid_ranges, resolve_parallelism
 
     ranges = _grid_ranges(table, spec.predicates, spec.row_filters)
     workers = resolve_parallelism(workers, len(ranges), table.row_count)
-    payloads = _dispatch(table, ranges, workers, spec)
+    payloads, report = _dispatch(table, ranges, workers, spec, policy)
     stats = ScanStats(
         predicates_total=len(spec.predicates) + len(spec.row_filters))
     for partial_stats, __, __ in payloads:
         stats.merge(partial_stats)
+    report.apply(stats)
     state = merge_states([state for __, state, __ in payloads])
     rows = sum(rows for __, __, rows in payloads)
     return state, stats, rows

@@ -63,6 +63,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -70,12 +71,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..columnar.column import Column
-from ..errors import QueryError
+from ..errors import CorruptionError, QueryError, ScanTimeoutError
 from ..storage.column_store import StoredColumn, gather_rows
 from ..storage.table import Table
-from . import kernels
+from . import kernels, resilience
 from .operators import ScanStats, SelectionVector
 from .predicates import Between, Equals, Predicate, RangeBounds
+from .resilience import DEFAULT_FAULT_POLICY, FaultPlan, FaultPolicy
 
 __all__ = ["ScanResult", "scan_table", "gather_rows", "resolve_parallelism",
            "describe_backend", "BACKENDS"]
@@ -175,6 +177,39 @@ class _RangeOutcome:
     positions: np.ndarray
     stats: ScanStats
     pieces: Dict[str, np.ndarray]
+
+
+def _quarantined_outcome(table: Table, materialize: Sequence[str],
+                         derive: Sequence[Tuple[str, object]]
+                         ) -> _RangeOutcome:
+    """The outcome of a chunk range skipped under ``on_corruption="quarantine"``.
+
+    Zero rows, output arrays of the dtypes a real outcome would carry
+    (derived expressions are evaluated over empty inputs so their result
+    dtype matches), and the skip accounted in ``chunks_quarantined`` (a
+    result-affecting counter — it stays in ``ScanStats.comparable()``) and
+    ``fault_events``.
+    """
+    stats = ScanStats()
+    stats.chunks_quarantined = 1
+    stats.fault_events = 1
+    positions = np.empty(0, dtype=np.int64)
+    pieces: Dict[str, np.ndarray] = {
+        name: np.empty(0, dtype=table.column(name).dtype)
+        for name in materialize}
+    if derive:
+        gathered: Dict[str, np.ndarray] = dict(pieces)
+        for out_name, spec in derive:
+            for name in spec.columns:
+                if name not in gathered:
+                    gathered[name] = np.empty(0,
+                                              dtype=table.column(name).dtype)
+            value = np.asarray(spec.evaluate({name: gathered[name]
+                                              for name in spec.columns}))
+            if value.ndim == 0:
+                value = np.full(0, value[()])
+            pieces[out_name] = value
+    return _RangeOutcome(positions=positions, stats=stats, pieces=pieces)
 
 
 # --------------------------------------------------------------------------- #
@@ -515,6 +550,11 @@ def describe_backend(table: Table, backend: Optional[str],
     return "serial"
 
 
+def _first_line(error: BaseException) -> str:
+    text = str(error).strip() or type(error).__name__
+    return text.splitlines()[0]
+
+
 def scan_table(table: Table, predicates: Sequence[Predicate],
                use_pushdown: bool = True, use_zone_maps: bool = True,
                parallelism: Union[int, str] = 1,
@@ -523,7 +563,9 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                derive: Optional[Sequence[Tuple[str, object]]] = None,
                use_compressed_exec: bool = True,
                backend: Optional[str] = None,
-               cache_bytes: int = 0
+               cache_bytes: int = 0,
+               fault_plan: Optional[FaultPlan] = None,
+               fault_policy: Optional[FaultPolicy] = None
                ) -> ScanResult:
     """Run the chunk-at-a-time scan pipeline over *table*.
 
@@ -544,6 +586,12 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
     positionally on capable compressed forms instead of decompressing the
     chunk.  ``ScanStats.rows_computed_compressed`` and
     ``ScanStats.bytes_decompressed_saved`` account for both.
+
+    *fault_policy* governs what happens when faults surface (retries,
+    deadline, corruption quarantine, process → thread → serial
+    degradation); *fault_plan* injects deterministic faults for chaos
+    testing — when ``None``, the ``REPRO_FAULT_PLAN`` environment variable
+    may supply one.  See :mod:`repro.engine.resilience`.
     """
     from ..columnar.compile import cache_info
 
@@ -583,16 +631,33 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
     workers = resolve_parallelism(parallelism, len(ranges), table.row_count)
     kind = _resolve_backend_kind(backend, workers)
     backend_note: Optional[str] = None
+    policy = fault_policy if fault_policy is not None else DEFAULT_FAULT_POLICY
+    plan = fault_plan if fault_plan is not None else resilience.plan_from_env()
+    degradation: List[str] = []
 
     cache_before = cache_info()
+    deadline = (time.monotonic() + policy.deadline_s
+                if policy.deadline_s is not None else None)
 
     def run_range(bounds: Tuple[int, int]) -> _RangeOutcome:
-        return _scan_range(table, predicates, starts_by_column,
-                           bounds[0], bounds[1], use_pushdown, use_zone_maps,
-                           materialize, row_filters=row_filters, derive=derive,
-                           use_compressed_exec=use_compressed_exec)
+        if deadline is not None and time.monotonic() > deadline:
+            raise ScanTimeoutError(
+                f"scan exceeded its {policy.deadline_s:g}s fault-policy "
+                f"deadline before finishing chunk range "
+                f"[{bounds[0]}, {bounds[1]})")
+        try:
+            return _scan_range(table, predicates, starts_by_column,
+                               bounds[0], bounds[1], use_pushdown,
+                               use_zone_maps, materialize,
+                               row_filters=row_filters, derive=derive,
+                               use_compressed_exec=use_compressed_exec)
+        except CorruptionError:
+            if policy.on_corruption != "quarantine":
+                raise
+            return _quarantined_outcome(table, materialize, derive)
 
     outcomes: Optional[List[_RangeOutcome]] = None
+    pool_report = None
     if kind == "process":
         from . import parallel
 
@@ -600,22 +665,47 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
             predicates=tuple(predicates), row_filters=tuple(row_filters),
             derive=tuple(derive), materialize=tuple(materialize),
             use_pushdown=use_pushdown, use_zone_maps=use_zone_maps,
-            use_compressed_exec=use_compressed_exec, cache_bytes=cache_bytes)
+            use_compressed_exec=use_compressed_exec, cache_bytes=cache_bytes,
+            fault_plan=plan, on_corruption=policy.on_corruption)
         try:
-            outcomes = parallel.run_process_scan(table, ranges, workers, spec)
+            outcomes, pool_report = parallel.run_process_scan(
+                table, ranges, workers, spec, policy)
         except parallel.ProcessBackendUnavailable as unavailable:
             kind, backend_note = "serial", str(unavailable)
+        except parallel.ParallelExecutionError as failure:
+            # ScanTimeoutError is deliberately not caught: the deadline is
+            # spent, degrading would only blow the budget further.
+            if policy.on_fault != "degrade":
+                raise
+            degradation.append(
+                f"process[{workers}] failed: {_first_line(failure)}")
+            kind = "thread" if workers > 1 else "serial"
     if outcomes is None:
         # resolve_parallelism clamps workers to len(ranges), so a "thread"
-        # kind here always has more than one range to fan out.
-        if kind == "thread":
-            outcomes = list(_shared_thread_pool(workers).map(run_range, ranges))
-        else:
-            outcomes = [run_range(bounds) for bounds in ranges]
+        # kind here always has more than one range to fan out.  Read-path
+        # fault injection is installed for the duration (worker faults in
+        # the plan are inert outside pool workers).
+        with resilience.active(plan):
+            if kind == "thread":
+                try:
+                    outcomes = list(
+                        _shared_thread_pool(workers).map(run_range, ranges))
+                except ScanTimeoutError:
+                    raise
+                except Exception as failure:
+                    if policy.on_fault != "degrade":
+                        raise
+                    degradation.append(
+                        f"thread[{workers}] failed: {_first_line(failure)}")
+                    kind = "serial"
+            if outcomes is None:
+                outcomes = [run_range(bounds) for bounds in ranges]
 
     stats = ScanStats(predicates_total=len(predicates) + len(row_filters))
     for outcome in outcomes:
         stats.merge(outcome.stats)
+    if pool_report is not None:
+        pool_report.apply(stats)
     if kind != "process":
         # Process workers measure their own compile-cache deltas; the
         # coordinator's cache never warmed, so its delta would report 0.
@@ -624,9 +714,11 @@ def scan_table(table: Table, predicates: Sequence[Predicate],
                                  + cache_after["plan_hits"] - cache_before["plan_hits"])
         stats.plan_cache_misses = cache_after["plan_misses"] - cache_before["plan_misses"]
 
-    backend_name = (f"{kind}[{workers}]" if kind != "serial"
-                    else "serial" if backend_note is None
-                    else f"serial ({backend_note})")
+    backend_name = f"{kind}[{workers}]" if kind != "serial" else "serial"
+    if degradation:
+        backend_name += f" (degraded: {'; then '.join(degradation)})"
+    elif backend_note is not None:
+        backend_name += f" ({backend_note})"
 
     # A stored column always has at least one chunk, so outcomes is non-empty.
     positions = np.concatenate([o.positions for o in outcomes])

@@ -49,8 +49,22 @@ class StorageError(ReproError):
     """A storage-layer object (segment, chunk, table) was used incorrectly."""
 
 
+class CorruptionError(StorageError):
+    """Stored bytes failed an integrity check (per-segment digest mismatch).
+
+    Raised by the packed-format reader on first materialisation of a
+    corrupt constituent segment; the message names the file, column, chunk,
+    segment, and byte range so the damage can be located with
+    ``python -m repro.io.verify``.
+    """
+
+
 class QueryError(ReproError):
     """A query or physical operator was constructed or executed incorrectly."""
+
+
+class ScanTimeoutError(QueryError):
+    """A scan exceeded its fault-policy deadline and was cancelled."""
 
 
 class PlanningError(ReproError):

@@ -30,8 +30,14 @@ from typing import Union
 from ..errors import StorageError
 from ..storage.table import Table
 from .catalog import CATALOG_FILE, Catalog
-from .format import FORMAT_VERSION, MAGIC, SEGMENT_ALIGNMENT, TAIL_MAGIC
-from .reader import LazyConstituents, PackedForm, PackedTableFile, open_packed_table
+from .format import FORMAT_VERSION, MAGIC, SEGMENT_ALIGNMENT, TAIL_MAGIC, segment_digest
+from .reader import (
+    LazyConstituents,
+    PackedForm,
+    PackedTableFile,
+    footer_fingerprint,
+    open_packed_table,
+)
 from .writer import PACKED_SUFFIX, write_packed_table
 
 PathLike = Union[str, Path]
@@ -47,6 +53,8 @@ __all__ = [
     "LazyConstituents",
     "PackedForm",
     "PackedTableFile",
+    "footer_fingerprint",
+    "segment_digest",
     "open_packed_table",
     "open_table",
     "write_packed_table",

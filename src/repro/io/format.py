@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Any, Dict
 
 import numpy as np
@@ -51,8 +52,13 @@ MAGIC = b"RPROPACK"
 #: Trailing magic — its absence at EOF means the file was truncated.
 TAIL_MAGIC = b"RPROPEND"
 
-#: Version of the packed format written by this library.
-FORMAT_VERSION = 2
+#: Version of the packed format written by this library.  Version 3 added
+#: per-segment CRC32 digests (``crc32`` in each segment descriptor) and a
+#: footer ``write_uuid``; version-2 files (digest-free) remain readable.
+FORMAT_VERSION = 3
+
+#: Format versions this library can read.
+READABLE_VERSIONS = (2, 3)
 
 #: Segment start alignment, in bytes.  64 covers every NumPy dtype's
 #: natural alignment and one cache line.
@@ -93,10 +99,11 @@ def unpack_header(data: bytes, path: Any) -> int:
             f"{path}: not a packed table file (leading magic {magic!r}, "
             f"expected {MAGIC!r})"
         )
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise StorageError(
             f"{path}: unsupported packed format version {version}, "
-            f"this library reads version {FORMAT_VERSION}"
+            f"this library reads version {FORMAT_VERSION} "
+            f"(and the digest-free version 2)"
         )
     return version
 
@@ -126,6 +133,17 @@ def unpack_trailer(data: bytes, file_size: int, path: Any) -> "tuple[int, int]":
             f"a {file_size}-byte file)"
         )
     return footer_offset, footer_length
+
+
+def segment_digest(data: bytes) -> int:
+    """The integrity digest of one segment's raw bytes (CRC32, unsigned).
+
+    CRC32 is the only always-available checksum in the standard library
+    that is fast enough for the hot read path (xxhash would be preferred
+    but must not become a hard dependency); collisions are irrelevant here
+    — the digest detects accidental corruption, not adversaries.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def aligned(offset: int, alignment: int = SEGMENT_ALIGNMENT) -> int:

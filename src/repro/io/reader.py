@@ -30,7 +30,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 import numpy as np
 
 from ..columnar.column import Column
-from ..errors import StorageError
+from ..errors import CorruptionError, StorageError
 from ..schemes.base import CompressedForm
 from ..storage.chunk import ColumnChunk
 from ..storage.column_store import StoredColumn
@@ -41,11 +41,22 @@ from .format import (
     HEADER_SIZE,
     TRAILER_SIZE,
     decode_footer,
+    segment_digest,
     unpack_header,
     unpack_trailer,
 )
 
 PathLike = Union[str, Path]
+
+#: Read-fault injection hook, installed by
+#: :func:`repro.engine.resilience.install_fault_plan` (``None`` = no faults).
+#: When set, it is called as ``hook(path, descriptor, name, raw)`` after a
+#: segment's bytes are mapped and before they are verified; it may raise (a
+#: simulated truncated read), sleep (a slow read), or return replacement
+#: bytes (a bit flip) — returning ``None`` leaves the segment untouched.
+#: Injected corruption therefore hits the *same* digest check real
+#: corruption would, which is the point of the chaos harness.
+_FAULT_HOOK = None
 
 
 class SegmentSource:
@@ -65,8 +76,17 @@ class SegmentSource:
         self.bytes_mapped = 0
         self.segments_mapped = 0
 
-    def load(self, descriptor: Dict[str, Any], name: str) -> Column:
-        """Materialise one segment as a zero-copy read-only column."""
+    def load(self, descriptor: Dict[str, Any], name: str,
+             context: str = "") -> Column:
+        """Materialise one segment as a zero-copy read-only column.
+
+        A segment descriptor carrying a ``crc32`` digest (format version 3)
+        is verified here, on first materialisation — the constituent cache
+        in :class:`LazyConstituents` makes this once per segment per open
+        file.  A mismatch raises :class:`~repro.errors.CorruptionError`
+        naming the file, the owning column/chunk (*context*), the segment,
+        and the corrupt byte range.
+        """
         nbytes = int(descriptor["nbytes"])
         length = int(descriptor["length"])
         dtype = np.dtype(descriptor["dtype"])
@@ -91,6 +111,25 @@ class SegmentSource:
             if self._mm is None:
                 self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
             raw = self._mm[offset:offset + nbytes]
+        # Fault injection and digest verification run outside the lock: a
+        # slow-read fault must not stall concurrent threads, and hashing is
+        # the only non-trivial work on this path.
+        hook = _FAULT_HOOK
+        if hook is not None:
+            replacement = hook(self.path, descriptor, name, raw)
+            if replacement is not None:
+                raw = np.frombuffer(replacement, dtype=np.uint8)
+        expected = descriptor.get("crc32")
+        if expected is not None:
+            actual = segment_digest(raw)
+            if actual != int(expected):
+                where = f" of {context}" if context else ""
+                raise CorruptionError(
+                    f"{self.path}: segment {name!r}{where} failed its "
+                    f"integrity check (crc32 {actual:#010x}, recorded "
+                    f"{int(expected):#010x}, byte range "
+                    f"[{offset}, {offset + nbytes}))"
+                )
         return Column.wrap_readonly(raw.view(dtype), name=name)
 
     def uncharge(self, descriptor: Dict[str, Any]) -> None:
@@ -122,12 +161,14 @@ class LazyConstituents(Mapping):
     segment mapping.
     """
 
-    __slots__ = ("_source", "_segments", "_cache")
+    __slots__ = ("_source", "_segments", "_cache", "_context")
 
-    def __init__(self, source: SegmentSource, segments: Dict[str, Dict[str, Any]]):
+    def __init__(self, source: SegmentSource, segments: Dict[str, Dict[str, Any]],
+                 context: str = ""):
         self._source = source
         self._segments = segments
         self._cache: Dict[str, Column] = {}
+        self._context = context
 
     def __getitem__(self, name: str) -> Column:
         column = self._cache.get(name)
@@ -135,7 +176,8 @@ class LazyConstituents(Mapping):
             # Under parallel scans two threads may race here; both produce
             # equivalent read-only views, but only one may win the cache and
             # be charged to the I/O account (setdefault keeps it consistent).
-            loaded = self._source.load(self._segments[name], name)
+            loaded = self._source.load(self._segments[name], name,
+                                       self._context)
             column = self._cache.setdefault(name, loaded)
             if column is not loaded:
                 self._source.uncharge(self._segments[name])
@@ -176,14 +218,16 @@ def _form_nbytes(descriptor: Dict[str, Any]) -> int:
     return size
 
 
-def _build_form(descriptor: Dict[str, Any], source: SegmentSource) -> PackedForm:
+def _build_form(descriptor: Dict[str, Any], source: SegmentSource,
+                context: str = "") -> PackedForm:
     form = PackedForm(
         scheme=descriptor["scheme"],
-        columns=LazyConstituents(source, descriptor["segments"]),
+        columns=LazyConstituents(source, descriptor["segments"], context),
         parameters=dict(descriptor["parameters"]),
         original_length=int(descriptor["original_length"]),
         original_dtype=np.dtype(descriptor["original_dtype"]),
-        nested={name: _build_form(sub, source)
+        nested={name: _build_form(sub, source,
+                                  f"{context}, nested form {name!r}")
                 for name, sub in descriptor["nested"].items()},
     )
     form.__dict__["_packed_nbytes"] = _form_nbytes(descriptor)
@@ -191,7 +235,7 @@ def _build_form(descriptor: Dict[str, Any], source: SegmentSource) -> PackedForm
 
 
 def _build_chunk(descriptor: Dict[str, Any], source: SegmentSource,
-                 path: Path) -> ColumnChunk:
+                 path: Path, column: str = "?") -> ColumnChunk:
     try:
         scheme = rebuild_scheme(descriptor["scheme"])
         statistics = ColumnStatistics(**descriptor["statistics"])
@@ -199,11 +243,13 @@ def _build_chunk(descriptor: Dict[str, Any], source: SegmentSource,
         raise StorageError(
             f"{path}: malformed chunk metadata in packed footer ({error})"
         ) from None
+    row_offset = int(descriptor["row_offset"])
+    context = f"column {column!r}, chunk @ row {row_offset}"
     return ColumnChunk(
-        form=_build_form(descriptor["form"], source),
+        form=_build_form(descriptor["form"], source, context),
         scheme=scheme,
         statistics=statistics,
-        row_offset=int(descriptor["row_offset"]),
+        row_offset=row_offset,
     )
 
 
@@ -274,6 +320,17 @@ class PackedTableFile:
     def writer(self) -> str:
         return str(self.footer.get("writer", "unknown"))
 
+    @property
+    def write_uuid(self) -> Optional[str]:
+        """The unique id of the write that produced this file (v3+)."""
+        value = self.footer.get("write_uuid")
+        return None if value is None else str(value)
+
+    @property
+    def has_digests(self) -> bool:
+        """Whether this file carries per-segment integrity digests."""
+        return self.format_version >= 3
+
     # ------------------------------------------------------------------ #
     # I/O accounting
     # ------------------------------------------------------------------ #
@@ -302,7 +359,7 @@ class PackedTableFile:
             columns: Dict[str, StoredColumn] = {}
             for descriptor in self.footer["columns"]:
                 name = descriptor["name"]
-                chunks = [_build_chunk(chunk, self._source, self.path)
+                chunks = [_build_chunk(chunk, self._source, self.path, name)
                           for chunk in descriptor["chunks"]]
                 columns[name] = StoredColumn(
                     name, chunks, np.dtype(descriptor["dtype"]))
@@ -333,3 +390,29 @@ class PackedTableFile:
 def open_packed_table(path: PathLike) -> PackedTableFile:
     """Open a packed table file for lazy reading."""
     return PackedTableFile(path)
+
+
+def footer_fingerprint(path: PathLike) -> int:
+    """The CRC32 of the file's footer bytes — a cheap content fingerprint.
+
+    A version-3 footer embeds a fresh ``write_uuid`` on every write, so two
+    writes of even an identical table fingerprint differently.  The process
+    backend mixes this into its per-worker table-cache key: size and mtime
+    alone miss a same-size rewrite landing within the filesystem's mtime
+    granularity (the stale-mmap race).  Only the trailer and footer are
+    read — no segment I/O.
+    """
+    path = Path(path)
+    file_size = path.stat().st_size
+    with open(path, "rb") as handle:
+        if file_size < HEADER_SIZE + TRAILER_SIZE:
+            raise StorageError(
+                f"{path}: truncated packed table file "
+                f"({file_size} bytes cannot hold header and trailer)"
+            )
+        handle.seek(file_size - TRAILER_SIZE)
+        trailer = handle.read(TRAILER_SIZE)
+        footer_offset, footer_length = unpack_trailer(trailer, file_size, path)
+        handle.seek(footer_offset)
+        footer_bytes = handle.read(footer_length)
+    return segment_digest(footer_bytes)

@@ -1,11 +1,19 @@
-"""Writing tables into the packed single-file format (v2).
+"""Writing tables into the packed single-file format (v3).
 
 The writer walks a :class:`~repro.storage.table.Table` column by column,
 chunk by chunk, and streams every constituent column of every compressed
 form into the file as one aligned *segment* of raw little-endian bytes.
 The metadata — scheme descriptions, form parameters, chunk statistics and
-the ``(offset, nbytes, dtype, length)`` of every segment — accumulates into
-the JSON footer, written last, followed by the fixed trailer.
+the ``(offset, nbytes, dtype, length, crc32)`` of every segment —
+accumulates into the JSON footer, written last, followed by the fixed
+trailer.
+
+Version 3 adds end-to-end integrity: every segment descriptor carries the
+CRC32 of the segment's raw bytes (verified lazily by the reader on first
+materialisation, and exhaustively by ``python -m repro.io.verify``), and
+the footer carries a ``write_uuid`` that changes on every write — the
+process backend's per-worker table cache keys on it, so an in-place
+rewrite is never served from a stale mmap even when size and mtime agree.
 
 Nothing is buffered beyond one segment's bytes: a table much larger than
 memory could be streamed, chunk at a time, as long as its ``Table`` object
@@ -14,6 +22,7 @@ can be held (compressed) in memory.
 
 from __future__ import annotations
 
+import uuid
 from pathlib import Path
 from typing import Any, BinaryIO, Dict, Union
 
@@ -36,6 +45,7 @@ from .format import (
     little_endian,
     pack_header,
     pack_trailer,
+    segment_digest,
 )
 
 PathLike = Union[str, Path]
@@ -47,9 +57,10 @@ PACKED_SUFFIX = ".rpk"
 class _SegmentStream:
     """Appends aligned segments to *handle*, tracking the running offset."""
 
-    def __init__(self, handle: BinaryIO, offset: int):
+    def __init__(self, handle: BinaryIO, offset: int, digests: bool = True):
         self._handle = handle
         self.offset = offset
+        self.digests = digests
 
     def append(self, values: np.ndarray, name: str) -> Dict[str, Any]:
         """Write one constituent array; return its segment descriptor."""
@@ -63,13 +74,16 @@ class _SegmentStream:
         data = arr.tobytes()
         self._handle.write(data)
         self.offset = start + len(data)
-        return {
+        descriptor = {
             "name": name,
             "offset": start,
             "nbytes": len(data),
             "dtype": dtype.str,
             "length": int(arr.shape[0]),
         }
+        if self.digests:
+            descriptor["crc32"] = segment_digest(data)
+        return descriptor
 
 
 def _write_form(form: CompressedForm, stream: _SegmentStream) -> Dict[str, Any]:
@@ -104,30 +118,39 @@ def _write_column(column: StoredColumn, stream: _SegmentStream) -> Dict[str, Any
     }
 
 
-def write_packed_table(table: Table, path: PathLike) -> Path:
+def write_packed_table(table: Table, path: PathLike, digests: bool = True) -> Path:
     """Write *table* as one packed file at *path* (parents created).
 
     Returns the path written.  The write is atomic at the filesystem level:
     bytes go to ``<path>.tmp`` first and are renamed into place, so a
     crashed write never leaves a half-file under the final name.
+
+    *digests* (default on) writes the version-3 integrity metadata:
+    per-segment CRC32 digests and a footer ``write_uuid``.  ``digests=False``
+    emits a digest-free version-2 file — the pre-integrity format — which
+    exists so tests can pin that v2 files remain readable; there is no
+    reason to use it otherwise.
     """
     if not isinstance(table, Table):
         raise StorageError("write_packed_table() expects a Table")
+    version = FORMAT_VERSION if digests else 2
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp_path = path.with_name(path.name + ".tmp")
     try:
         with open(tmp_path, "wb") as handle:
-            handle.write(pack_header())
-            stream = _SegmentStream(handle, HEADER_SIZE)
+            handle.write(pack_header(version=version))
+            stream = _SegmentStream(handle, HEADER_SIZE, digests=digests)
             columns = [_write_column(table.column(name), stream) for name in table.column_names]
             footer = {
-                "format_version": FORMAT_VERSION,
+                "format_version": version,
                 "writer": f"repro {__version__}",
                 "segment_alignment": SEGMENT_ALIGNMENT,
                 "row_count": int(table.row_count),
                 "columns": columns,
             }
+            if digests:
+                footer["write_uuid"] = uuid.uuid4().hex
             footer_bytes = encode_footer(footer)
             footer_offset = stream.offset
             handle.write(footer_bytes)

@@ -389,3 +389,80 @@ class TestApiSurface:
         clone = pickle.loads(pickle.dumps(spec))
         assert clone.cache_bytes == spec.cache_bytes
         assert [p.column_name for p in clone.predicates] == ["date", "qty"]
+
+
+class TestStaleMmapInvalidation:
+    """Satellite: the per-worker table-cache key must include the footer
+    digest.  A same-size in-place rewrite landing within the filesystem's
+    mtime granularity defeats an ``(st_size, st_mtime_ns)`` fingerprint —
+    only the footer CRC (v3 footers embed a fresh ``write_uuid`` per write)
+    tells the two files apart."""
+
+    def test_fingerprint_sees_through_size_and_mtime(self, tmp_path):
+        __, table = _build_table()
+        path = tmp_path / "twin.rpk"
+        write_packed_table(table, path)
+        stat = os.stat(path)
+        first = parallel._fingerprint(str(path))
+        # Rewrite the identical table in place and force the old stat pair.
+        write_packed_table(table, path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        second = parallel._fingerprint(str(path))
+        assert os.stat(path).st_size == stat.st_size
+        assert first[:2] == second[:2]  # size + mtime cannot tell them apart
+        assert first != second          # the footer digest can
+
+    def test_same_size_rewrite_is_served_fresh(self, tmp_path):
+        rows, chunk = 8_192, 4_096
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1_000, rows).astype(np.int64)
+        schemes = {"v": DictionaryEncoding()}
+        path = tmp_path / "stale.rpk"
+        write_packed_table(
+            Table.from_pydict({"v": values}, schemes=schemes,
+                              chunk_size=chunk), path)
+        stat = os.stat(path)
+        predicate = [Between("v", 0, 499)]
+        # Warm the pool: workers now hold the original file's mmap + table.
+        stale = scan_table(open_packed_table(path).table, predicate,
+                           materialize=["v"], backend="process",
+                           parallelism=2)
+        assert stale.backend == "process[2]"
+        # Same multiset per chunk → identical dictionaries, stats and file
+        # size; only the segment bytes (and their digests) differ.  Footer
+        # digest ints vary in decimal width, so probe seeds for an exact
+        # size match — deterministic given the fixed input data.
+        candidate = tmp_path / "candidate.rpk"
+        for seed in range(200):
+            shuffled = values.copy()
+            shuffle_rng = np.random.default_rng(seed)
+            for lo in range(0, rows, chunk):
+                shuffle_rng.shuffle(shuffled[lo:lo + chunk])
+            if np.array_equal(shuffled, values):
+                continue
+            write_packed_table(
+                Table.from_pydict({"v": shuffled}, schemes=schemes,
+                                  chunk_size=chunk), candidate)
+            if os.stat(candidate).st_size == stat.st_size:
+                break
+        else:
+            pytest.fail("no same-size shuffled rewrite found in 200 seeds")
+        os.replace(candidate, path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert os.stat(path).st_size == stat.st_size
+        assert os.stat(path).st_mtime_ns == stat.st_mtime_ns
+
+        fresh_table = open_packed_table(path).table
+        serial = scan_table(fresh_table, predicate, materialize=["v"])
+        fresh = scan_table(fresh_table, predicate, materialize=["v"],
+                           backend="process", parallelism=2)
+        assert fresh.backend == "process[2]"
+        assert np.array_equal(serial.selection.positions.values,
+                              fresh.selection.positions.values)
+        assert np.array_equal(serial.columns["v"].values,
+                              fresh.columns["v"].values)
+        # And the answer genuinely changed: serving the stale mmap would
+        # have reproduced the original file's positions.
+        assert not np.array_equal(stale.selection.positions.values,
+                                  fresh.selection.positions.values)
+        parallel.shutdown_pools()

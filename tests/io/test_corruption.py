@@ -1,0 +1,259 @@
+"""End-to-end integrity of the packed format: byte flips and the verify CLI.
+
+Satellite of the resilience PR: flip one byte at each structural offset of
+a packed file (header magic, header version, segment body, footer JSON,
+trailer magic) and assert a **typed** error naming the location — plus the
+offline ``python -m repro.io.verify`` tool, which must find the same
+damage without decompressing anything, and the version-2 compatibility
+story (readable, but digest-free: corruption passes silently, which is
+why version 3 exists).
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptionError, StorageError
+from repro.io import load_table, open_table, save_table
+from repro.io.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    TRAILER_SIZE,
+    segment_digest,
+)
+from repro.io.reader import open_packed_table
+from repro.io.verify import main, verify_packed_file, verify_path
+from repro.io.writer import write_packed_table
+from repro.schemes import NullSuppression, RunLengthEncoding
+from repro.storage import Table
+
+
+def _build_table(rows=3_000):
+    rng = np.random.default_rng(9)
+    return Table.from_pydict(
+        {
+            "k": np.sort(rng.integers(0, 50, rows)).astype(np.int64),
+            "v": rng.integers(0, 500, rows).astype(np.int64),
+        },
+        schemes={"k": RunLengthEncoding(), "v": NullSuppression()},
+        chunk_size=512,
+    )
+
+
+@pytest.fixture
+def packed_path(tmp_path):
+    return save_table(_build_table(), tmp_path / "t.rpk")
+
+
+def _flip_byte(source, destination, position):
+    blob = bytearray(source.read_bytes())
+    blob[position] ^= 0xFF
+    destination.write_bytes(bytes(blob))
+    return destination
+
+
+def _footer_offset(path):
+    footer_offset, __, __ = struct.unpack("<QQ8s",
+                                          path.read_bytes()[-TRAILER_SIZE:])
+    return footer_offset
+
+
+def _materialize_all(path):
+    table = open_packed_table(path).table
+    for name in table.column_names:
+        table.column(name).materialize()
+
+
+class TestStructuralByteFlips:
+    """One flipped byte per framing region → a typed, located error."""
+
+    def test_header_magic(self, tmp_path, packed_path):
+        path = _flip_byte(packed_path, tmp_path / "magic.rpk", 0)
+        with pytest.raises(StorageError, match="not a packed table file"):
+            load_table(path)
+
+    def test_header_version(self, tmp_path, packed_path):
+        path = _flip_byte(packed_path, tmp_path / "version.rpk", len(MAGIC))
+        with pytest.raises(StorageError) as excinfo:
+            load_table(path)
+        assert "version" in str(excinfo.value)
+        assert str(path) in str(excinfo.value)
+
+    def test_segment_body(self, tmp_path, packed_path):
+        # First segment region byte: 64-byte aligned right after the header.
+        path = _flip_byte(packed_path, tmp_path / "segment.rpk", 64)
+        with pytest.raises(CorruptionError) as excinfo:
+            _materialize_all(path)
+        message = str(excinfo.value)
+        assert "segment.rpk" in message
+        assert "failed its integrity check" in message
+        assert "crc32" in message
+        assert "byte range" in message
+
+    def test_footer_json(self, tmp_path, packed_path):
+        path = _flip_byte(packed_path, tmp_path / "footer.rpk",
+                          _footer_offset(packed_path))
+        with pytest.raises(StorageError, match="corrupt packed table footer"):
+            load_table(path)
+
+    def test_trailer_magic(self, tmp_path, packed_path):
+        size = packed_path.stat().st_size
+        path = _flip_byte(packed_path, tmp_path / "trailer.rpk", size - 1)
+        with pytest.raises(StorageError, match="truncated or corrupt"):
+            load_table(path)
+
+    @pytest.mark.parametrize("region", ["header", "segment", "footer",
+                                        "trailer"])
+    def test_verify_tool_finds_every_flip(self, tmp_path, packed_path,
+                                          region):
+        size = packed_path.stat().st_size
+        position = {"header": 0, "segment": 64,
+                    "footer": _footer_offset(packed_path),
+                    "trailer": size - 1}[region]
+        path = _flip_byte(packed_path, tmp_path / f"{region}.rpk", position)
+        report = verify_packed_file(path)
+        assert not report.ok
+        assert report.problems
+
+    def test_corruption_error_is_a_storage_error(self):
+        assert issubclass(CorruptionError, StorageError)
+
+
+class TestVerifyTool:
+    def test_intact_file_verifies_every_segment(self, packed_path):
+        report = verify_packed_file(packed_path)
+        assert report.ok
+        assert report.format_version == FORMAT_VERSION
+        assert report.segments_total > 0
+        assert report.segments_verified == report.segments_total
+        assert "framing intact" in report.summary()
+
+    def test_corrupt_segment_is_located_without_decompression(self, tmp_path,
+                                                              packed_path):
+        path = _flip_byte(packed_path, tmp_path / "bad.rpk", 64)
+        report = verify_packed_file(path)
+        assert not report.ok
+        assert report.segments_verified == report.segments_total - 1
+        [problem] = report.problems
+        assert "column" in problem and "chunk @ row" in problem
+        assert "byte range [" in problem
+
+    def test_descriptor_pointing_outside_segment_region(self, tmp_path,
+                                                        packed_path):
+        import json
+        blob = packed_path.read_bytes()
+        footer_offset, footer_length, __ = struct.unpack(
+            "<QQ8s", blob[-TRAILER_SIZE:])
+        footer = json.loads(blob[footer_offset:footer_offset + footer_length])
+        segments = footer["columns"][0]["chunks"][0]["form"]["segments"]
+        next(iter(segments.values()))["offset"] = len(blob) + 1_024
+        new_footer = json.dumps(footer).encode()
+        path = tmp_path / "dangling.rpk"
+        path.write_bytes(blob[:footer_offset] + new_footer
+                         + struct.pack("<QQ8s", footer_offset,
+                                       len(new_footer), b"RPROPEND"))
+        report = verify_packed_file(path)
+        assert not report.ok
+        assert any("outside the segment region" in problem
+                   for problem in report.problems)
+
+    def test_missing_file_is_a_problem_not_a_crash(self, tmp_path):
+        report = verify_packed_file(tmp_path / "nope.rpk")
+        assert not report.ok
+        assert "cannot read" in report.problems[0]
+
+    def test_verify_path_walks_a_catalog(self, tmp_path):
+        from repro.io.catalog import Catalog
+
+        catalog = Catalog(tmp_path / "cat", create=True)
+        catalog.save("one", _build_table(1_000))
+        catalog.save("two", _build_table(2_000))
+        reports = verify_path(tmp_path / "cat")
+        assert len(reports) == 2
+        assert all(report.ok for report in reports)
+
+    def test_verify_path_rejects_a_non_catalog_directory(self, tmp_path):
+        (tmp_path / "stuff").mkdir()
+        [report] = verify_path(tmp_path / "stuff")
+        assert not report.ok
+        assert "not a catalog" in report.problems[0]
+
+    def test_cli_exit_codes(self, tmp_path, packed_path, capsys):
+        assert main([str(packed_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 file(s) intact" in out
+        bad = _flip_byte(packed_path, tmp_path / "bad.rpk", 64)
+        assert main([str(packed_path), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "1/2 file(s) intact" in out
+
+    def test_cli_quiet_prints_only_problems(self, tmp_path, packed_path,
+                                            capsys):
+        assert main(["--quiet", str(packed_path)]) == 0
+        assert capsys.readouterr().out == ""
+        bad = _flip_byte(packed_path, tmp_path / "bad.rpk", 64)
+        assert main(["--quiet", str(bad)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_cli_runs_as_a_module(self, packed_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        source_root = str(Path(repro.__file__).resolve().parents[1])
+        environment = dict(os.environ,
+                           PYTHONPATH=os.pathsep.join(
+                               [source_root,
+                                os.environ.get("PYTHONPATH", "")]))
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.io.verify", str(packed_path)],
+            capture_output=True, text=True, check=False, env=environment)
+        assert completed.returncode == 0, completed.stderr
+        assert "framing intact" in completed.stdout
+
+
+class TestVersionTwoCompatibility:
+    """v2 (digest-free) files stay readable — and show why v3 exists."""
+
+    @pytest.fixture
+    def v2_path(self, tmp_path):
+        return write_packed_table(_build_table(), tmp_path / "old.rpk",
+                                  digests=False)
+
+    def test_v2_reads_identically(self, v2_path):
+        packed = open_table(v2_path)
+        assert packed.format_version == 2
+        assert not packed.has_digests
+        assert packed.write_uuid is None
+        table = _build_table()
+        for name in table.column_names:
+            assert packed.table.column(name).materialize().equals(
+                table.column(name).materialize())
+
+    def test_v2_verify_is_framing_only(self, v2_path):
+        report = verify_packed_file(v2_path)
+        assert report.ok
+        assert not report.has_digests
+        assert report.segments_verified == 0
+        assert "no segment digests" in report.summary()
+
+    def test_v2_corruption_is_silent_on_read(self, tmp_path, v2_path):
+        # The v2 hole this PR closes: a flipped segment byte decodes to
+        # wrong values without any error.  (Framing still parses.)
+        path = _flip_byte(v2_path, tmp_path / "silent.rpk", 64)
+        _materialize_all(path)  # no exception — silently wrong data
+
+    def test_v3_default_has_digests_and_uuid(self, packed_path):
+        packed = open_table(packed_path)
+        assert packed.format_version == FORMAT_VERSION == 3
+        assert packed.has_digests
+        assert packed.write_uuid is not None and len(packed.write_uuid) == 32
+
+    def test_digest_helper_is_stable(self):
+        assert segment_digest(b"") == 0
+        assert segment_digest(b"repro") == segment_digest(b"repro")
+        assert segment_digest(b"repro") != segment_digest(b"repr0")
